@@ -1,0 +1,73 @@
+//! Ablation A: call batching (section 3.4).
+//!
+//! "To further improve performance, the CLAM RPC facility batches several
+//! asynchronous calls together into a single message. Batching reduces
+//! the amount of interprocess communication." Compare N async calls
+//! delivered batched (one flush at the end) against the same N flushed
+//! one message each.
+
+use clam_bench::{BenchRig, Echo};
+use clam_net::Endpoint;
+use clam_rpc::Target;
+use clam_xdr::Opaque;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let rig = BenchRig::new(Endpoint::unix(
+        std::env::temp_dir().join(format!("clam-batch-bench-{}.sock", std::process::id())),
+    ));
+    let caller = std::sync::Arc::clone(rig.client.caller());
+    let target = Target::Builtin(clam_bench::ECHO_SERVICE_ID);
+    let _ = rig.measure_remote_call(8); // warm up
+
+    for n in [1u32, 8, 64, 512] {
+        group.throughput(Throughput::Elements(u64::from(n)));
+
+        // Batched: N async calls, one flush, one sync barrier.
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    caller
+                        .call_async(target, 1, Opaque::from(clam_xdr::encode(&(i,)).unwrap()))
+                        .expect("async");
+                }
+                caller.flush().expect("flush");
+                rig.echo.echo(0).expect("barrier");
+            });
+        });
+
+        // Unbatched: flush after every call — one IPC message each.
+        group.bench_with_input(BenchmarkId::new("flush_each", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    caller
+                        .call_async(target, 1, Opaque::from(clam_xdr::encode(&(i,)).unwrap()))
+                        .expect("async");
+                    caller.flush().expect("flush");
+                }
+                rig.echo.echo(0).expect("barrier");
+            });
+        });
+
+        // Fully synchronous: N round trips (the no-asynchrony baseline,
+        // what "other RPC systems such as Grapevine" do).
+        group.bench_with_input(BenchmarkId::new("sync_each", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    rig.echo.echo(i).expect("echo");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for Figure 5.1 rows 1–3 (intra-address-space calls).
+
+use clam_bench::{loaded_proc_pair, local_upcall_target, static_procedure};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_local_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig51_local");
+
+    // Row 1: statically linked procedure call (paper: 19 µs).
+    group.bench_function("row1_static_call", |b| {
+        b.iter(|| static_procedure(black_box(7)));
+    });
+
+    // Row 2: dyn-loaded procedure calling a dyn-loaded procedure
+    // (paper: 21 µs).
+    let loaded = loaded_proc_pair();
+    group.bench_function("row2_loaded_to_loaded", |b| {
+        b.iter(|| loaded(black_box(7)));
+    });
+
+    // Row 3: upcall, both procedures in the server (paper: 19 µs).
+    let target = local_upcall_target();
+    group.bench_function("row3_local_upcall", |b| {
+        b.iter(|| target.invoke(black_box(7)).expect("upcall"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_rows);
+criterion_main!(benches);

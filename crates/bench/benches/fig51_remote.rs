@@ -1,0 +1,49 @@
+//! Criterion benches for Figure 5.1 rows 4–9 (cross-address-space calls
+//! and upcalls over unix domain, TCP, and simulated WAN).
+
+use clam_bench::{row_endpoints, BenchRig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_remote_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig51_remote");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    for (name, endpoint) in row_endpoints() {
+        let rig = BenchRig::new(endpoint);
+        let _ = rig.measure_remote_call(8); // connection warm-up
+        let _ = rig.measure_remote_upcall(8);
+
+        // Rows 4/6/8: remote procedure call (paper: 7200/11500/12400 µs).
+        group.bench_with_input(
+            BenchmarkId::new("remote_call", name),
+            &rig,
+            |b, rig| {
+                b.iter_custom(|iters| {
+                    rig.measure_remote_call(u32::try_from(iters).unwrap_or(u32::MAX))
+                        * u32::try_from(iters).unwrap_or(u32::MAX)
+                });
+            },
+        );
+
+        // Rows 5/7/9: remote upcall (paper: 7200/11500/12800 µs).
+        group.bench_with_input(
+            BenchmarkId::new("remote_upcall", name),
+            &rig,
+            |b, rig| {
+                b.iter_custom(|iters| {
+                    rig.measure_remote_upcall(u32::try_from(iters).unwrap_or(u32::MAX))
+                        * u32::try_from(iters).unwrap_or(u32::MAX)
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_rows);
+criterion_main!(benches);

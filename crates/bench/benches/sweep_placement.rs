@@ -1,0 +1,96 @@
+//! Ablation B (criterion form): a full sweep gesture with the sweeping
+//! layer in the server (one completion upcall) vs in the client (every
+//! event upcalled) — section 2.1's motivating comparison.
+
+use clam_core::{ClamClient, ClamServer, ServerConfig};
+use clam_load::{Loader, Version};
+use clam_net::Endpoint;
+use clam_rpc::Target;
+use clam_windows::input::sweep_script;
+use clam_windows::module::{windows_module, Desktop, DesktopProxy};
+use clam_windows::{Point, Rect};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rig(tag: &str) -> (Arc<ClamServer>, Arc<ClamClient>, DesktopProxy) {
+    let server = ClamServer::builder()
+        .config(ServerConfig::default())
+        .listen(Endpoint::in_proc(format!(
+            "sweep-bench-{tag}-{}",
+            std::process::id()
+        )))
+        .build()
+        .expect("server");
+    server
+        .loader()
+        .install(windows_module(&server, Version::new(1, 0)))
+        .expect("install");
+    let client = ClamClient::connect(&server.endpoints()[0]).expect("connect");
+    let loader = client.loader();
+    let report = loader
+        .load_module("windows".into(), Version::new(1, 0))
+        .expect("load");
+    let class_id = report
+        .classes
+        .iter()
+        .find(|c| c.class_name == "Desktop")
+        .expect("class")
+        .class_id;
+    let handle = loader
+        .create_object(class_id, clam_xdr::Opaque::new())
+        .expect("create");
+    let desktop = DesktopProxy::new(Arc::clone(client.caller()), Target::Object(handle));
+    (server, client, desktop)
+}
+
+fn bench_sweep_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_placement");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for steps in [16u32, 64, 256] {
+        // In-server sweep: the loaded layer consumes the moves.
+        let (_s, client, desktop) = rig(&format!("srv-{steps}"));
+        group.bench_with_input(
+            BenchmarkId::new("layer_in_server", steps),
+            &steps,
+            |b, &steps| {
+                b.iter(|| {
+                    let done = client.register_upcall(|_r: Rect| Ok(0u32));
+                    desktop.begin_sweep(1, done).expect("arm");
+                    for ev in sweep_script(Point::new(5, 5), Point::new(300, 200), steps) {
+                        desktop.inject(ev).expect("inject");
+                    }
+                });
+            },
+        );
+
+        // In-client sweep: every event upcalls across the boundary.
+        let (_s, client, desktop) = rig(&format!("cli-{steps}"));
+        let moves = Arc::new(parking_lot::Mutex::new(0u64));
+        let m = Arc::clone(&moves);
+        let listener = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+            *m.lock() += 1;
+            Ok(0u32)
+        });
+        desktop.post_desktop(listener).expect("register");
+        group.bench_with_input(
+            BenchmarkId::new("layer_in_client", steps),
+            &steps,
+            |b, &steps| {
+                b.iter(|| {
+                    for ev in sweep_script(Point::new(5, 5), Point::new(300, 200), steps) {
+                        desktop.inject(ev).expect("inject");
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_placement);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Task-reuse ablation (section 4.4): "Tasks are reused, instead of
+//! being newly created on each input event to reduce overhead."
+//!
+//! A warm scheduler satisfies each spawn from its worker pool; a cold
+//! scheduler pays OS thread creation per task. The gap is the paper's
+//! saving.
+
+use clam_task::Scheduler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_task_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_reuse");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Reused: one scheduler, its pool warms up and every subsequent
+    // spawn reuses a parked worker.
+    let sched = Scheduler::new("reuse");
+    sched.spawn("warm", || {}).join().expect("warm-up");
+    group.bench_function("spawn_join_reused_task", |b| {
+        b.iter(|| {
+            sched.spawn("ev", || {}).join().expect("task");
+        });
+    });
+
+    // Fresh: a new scheduler per task — every spawn creates a thread
+    // (the paper's rejected design).
+    group.bench_function("spawn_join_fresh_thread", |b| {
+        b.iter(|| {
+            let cold = Scheduler::new("cold");
+            cold.spawn("ev", || {}).join().expect("task");
+            cold.shutdown();
+        });
+    });
+
+    group.finish();
+
+    // Print the pool statistics once so the numbers land in bench logs.
+    let stats = sched.stats();
+    eprintln!(
+        "task_reuse: spawned={} threads_created={} reused={} ({}% reuse)",
+        stats.tasks_spawned,
+        stats.threads_created,
+        stats.workers_reused,
+        100 * stats.workers_reused / stats.tasks_spawned.max(1)
+    );
+}
+
+criterion_group!(benches, bench_task_reuse);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation C: the one-active-upcall-per-client limit (section 4.4) and
+//! its relaxation ("may be relaxed in future designs").
+//!
+//! A server task fans out K synchronous upcalls to one client; with
+//! `max_concurrent_upcalls = 1` (the paper's configuration) they
+//! serialize at the router, with a larger limit they pipeline. The
+//! client handles upcalls in one task either way (also the paper's
+//! design), so the win is bounded by client-side processing — which is
+//! exactly the kind of result the ablation exists to show.
+
+use clam_core::{ClamClient, ClamServer, ServerConfig, UpcallTarget};
+use clam_net::Endpoint;
+use clam_rpc::{current_conn, ProcId, RpcError, RpcResult, StatusCode, Target};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+clam_rpc::remote_interface! {
+    /// Fan out `k` concurrent upcall tasks, `n` upcalls total.
+    pub interface FanOut {
+        proxy FanOutProxy;
+        skeleton FanOutSkeleton;
+        class FanOutClass;
+
+        /// Returns elapsed nanoseconds.
+        fn fan_out(proc: ProcId, tasks: u32, per_task: u32) -> u64 = 1;
+    }
+}
+
+struct FanOutImpl {
+    server: Weak<ClamServer>,
+}
+
+impl FanOut for FanOutImpl {
+    fn fan_out(&self, proc: ProcId, tasks: u32, per_task: u32) -> RpcResult<u64> {
+        let server = self
+            .server
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "gone"))?;
+        let conn = current_conn()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for _ in 0..tasks {
+            let target: UpcallTarget<u32, u32> = server.upcall_target(conn, proc)?;
+            handles.push(server.spawn_task("fan-out", move || {
+                for i in 0..per_task {
+                    let _ = target.invoke(i);
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+const FANOUT_SERVICE: u32 = 61;
+
+fn rig(max_upcalls: usize, tag: &str) -> (Arc<ClamServer>, Arc<ClamClient>, FanOutProxy, ProcId) {
+    let server = ClamServer::builder()
+        .config(ServerConfig::default().with_max_concurrent_upcalls(max_upcalls))
+        .listen(Endpoint::in_proc(format!(
+            "upcall-limit-{tag}-{}",
+            std::process::id()
+        )))
+        .build()
+        .expect("server");
+    let weak = Arc::downgrade(&server);
+    server.rpc().register_service(
+        FANOUT_SERVICE,
+        Arc::new(FanOutSkeleton::new(Arc::new(FanOutImpl { server: weak }))),
+    );
+    let client = ClamClient::connect(&server.endpoints()[0]).expect("connect");
+    let proxy = FanOutProxy::new(Arc::clone(client.caller()), Target::Builtin(FANOUT_SERVICE));
+    let proc = client.register_upcall(|x: u32| Ok(x));
+    (server, client, proxy, proc)
+}
+
+fn bench_upcall_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upcall_limit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for limit in [1usize, 4] {
+        let (_s, _c, proxy, proc) = rig(limit, &format!("l{limit}"));
+        let _ = proxy.fan_out(proc, 1, 4); // warm up
+        group.bench_with_input(
+            BenchmarkId::new("fanout_4tasks_x16", limit),
+            &limit,
+            |b, _| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let nanos = proxy.fan_out(proc, 4, 16).expect("fan out");
+                        total += Duration::from_nanos(nanos);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_upcall_limit);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Bundling microbenches: the marshalling cost underlying every remote
+//! row of Figure 5.1 (and the reason pointer bundling strategy matters —
+//! section 3.1's transitive-closure warning).
+
+use clam_windows::graphics3d::{pt_array_bundler, pt_bundler, Point3};
+use clam_xdr::{decode, encode, XdrStream};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+clam_xdr::bundle_struct! {
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct CallRecord {
+        request_id: u64,
+        method: u32,
+        label: String,
+        payload: Vec<u32>,
+    }
+}
+
+fn bench_bundling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdr_bundling");
+
+    // Primitive round trip.
+    group.bench_function("u32_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = encode(&black_box(0xdead_beefu32)).expect("encode");
+            decode::<u32>(&bytes).expect("decode")
+        });
+    });
+
+    // A realistic call record.
+    let record = CallRecord {
+        request_id: 42,
+        method: 7,
+        label: "drawpoints".to_string(),
+        payload: (0..32).collect(),
+    };
+    group.bench_function("struct_encode", |b| {
+        b.iter(|| encode(black_box(&record)).expect("encode"));
+    });
+    let bytes = encode(&record).expect("encode");
+    group.bench_function("struct_decode", |b| {
+        b.iter(|| decode::<CallRecord>(black_box(&bytes)).expect("decode"));
+    });
+
+    // The paper's user-defined bundlers: single point and point arrays
+    // of growing size (what drawpoints ships).
+    group.bench_function("pt_bundler_roundtrip", |b| {
+        b.iter(|| {
+            let mut e = XdrStream::encoder();
+            let mut slot = Some(Point3::new(1, 2, 3));
+            pt_bundler(&mut e, &mut slot).expect("bundle");
+            let bytes = e.into_bytes();
+            let mut d = XdrStream::decoder(&bytes);
+            let mut out = None;
+            pt_bundler(&mut d, &mut out).expect("unbundle");
+            out
+        });
+    });
+
+    for n in [8usize, 64, 512] {
+        let pts: Vec<Point3> = (0..n as i16).map(|i| Point3::new(i, -i, i / 2)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pt_array_bundler", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut e = XdrStream::encoder();
+                let mut slot = Some(pts.clone());
+                pt_array_bundler(&mut e, &mut slot).expect("bundle");
+                e.into_bytes()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bundling);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Ablation B: where should the sweep layer live?
+//!
+//! Section 2.1 argues the sweeping code belongs *in the server*: "passing
+//! every input event across between the server process and a client
+//! process may be slow and can produce unpleasing visual effects" (the X
+//! placement). This harness measures a full sweep gesture with the layer
+//! in the server (one completion upcall) versus in the client (every
+//! event crosses), per transport.
+//!
+//! Run with: `cargo run --release -p clam-bench --bin sweep_ablation`
+
+use clam_core::{ClamClient, ClamServer, ServerConfig};
+use clam_load::{Loader, Version};
+use clam_net::Endpoint;
+use clam_rpc::Target;
+use clam_windows::input::sweep_script;
+use clam_windows::module::{windows_module, Desktop, DesktopProxy};
+use clam_windows::{Point, Rect};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn rig(endpoint: Endpoint) -> (Arc<ClamServer>, Arc<ClamClient>, DesktopProxy) {
+    let server = ClamServer::builder()
+        .config(ServerConfig::default())
+        .listen(endpoint)
+        .build()
+        .expect("server");
+    server
+        .loader()
+        .install(windows_module(&server, Version::new(1, 0)))
+        .expect("install");
+    let client = ClamClient::connect(&server.endpoints()[0]).expect("connect");
+    let loader = client.loader();
+    let report = loader
+        .load_module("windows".into(), Version::new(1, 0))
+        .expect("load");
+    let class_id = report
+        .classes
+        .iter()
+        .find(|c| c.class_name == "Desktop")
+        .expect("desktop class")
+        .class_id;
+    let handle = loader
+        .create_object(class_id, clam_xdr::Opaque::new())
+        .expect("create");
+    let desktop = DesktopProxy::new(Arc::clone(client.caller()), Target::Object(handle));
+    (server, client, desktop)
+}
+
+/// One sweep with the layer in the server: events are injected, the
+/// sweep consumes them, one upcall returns.
+fn sweep_in_server(client: &Arc<ClamClient>, desktop: &DesktopProxy, steps: u32) -> Duration {
+    let on_complete = client.register_upcall(|_rect: Rect| Ok(0u32));
+    desktop.begin_sweep(1, on_complete).expect("arm");
+    let script = sweep_script(Point::new(10, 10), Point::new(200, 150), steps);
+    let start = Instant::now();
+    for ev in script {
+        desktop.inject(ev).expect("inject");
+    }
+    start.elapsed()
+}
+
+/// One sweep with the layer in the client: a desktop listener receives
+/// every event (the X placement), the client runs the same state machine
+/// locally.
+fn sweep_in_client(client: &Arc<ClamClient>, desktop: &DesktopProxy, steps: u32) -> Duration {
+    use clam_windows::{Screen, Size, SweepLayer};
+    use parking_lot::Mutex;
+    let layer = Arc::new(Mutex::new((
+        SweepLayer::new(clam_windows::sweep::SweepOptions {
+            grid: 1,
+            show_band: false, // the client has no server framebuffer
+        }),
+        Screen::new(Size::new(640, 480), 0),
+    )));
+    let l = Arc::clone(&layer);
+    let listener = client.register_upcall(move |we: clam_windows::wm::WindowEvent| {
+        let mut guard = l.lock();
+        let (layer, screen) = &mut *guard;
+        let _ = layer.handle_event(screen, we.event);
+        Ok(0u32)
+    });
+    desktop.post_desktop(listener).expect("register");
+    let script = sweep_script(Point::new(10, 10), Point::new(200, 150), steps);
+    let start = Instant::now();
+    for ev in script {
+        desktop.inject(ev).expect("inject");
+    }
+    start.elapsed()
+}
+
+fn main() {
+    const STEPS: u32 = 64; // mouse-move samples per gesture
+    println!();
+    println!("Ablation B: sweep layer placement — section 2.1's motivating comparison");
+    println!("gesture: press + {STEPS} moves + release ({} events)", STEPS + 3);
+    println!("{:-<84}", "");
+    println!(
+        "{:<10} {:>18} {:>18} {:>14} {:>14}",
+        "transport", "in server (ms)", "in client (ms)", "slowdown", "upcalls srv/cli"
+    );
+    println!("{:-<84}", "");
+
+    let unix = std::env::temp_dir().join(format!("clam-sweep-{}.sock", std::process::id()));
+    let endpoints = [
+        ("inproc", Endpoint::in_proc(format!("sweep-abl-{}", std::process::id()))),
+        ("unix", Endpoint::unix(unix)),
+        ("tcp", Endpoint::tcp("127.0.0.1:0")),
+        ("wan", Endpoint::wan("127.0.0.1:0")),
+    ];
+
+    for (name, endpoint) in endpoints {
+        // Separate rigs so listener registrations don't accumulate.
+        let (_s1, c1, d1) = rig(endpoint.clone());
+        let (_s2, c2, d2) = match &endpoint {
+            Endpoint::Unix(_) => {
+                let alt = std::env::temp_dir()
+                    .join(format!("clam-sweep2-{}.sock", std::process::id()));
+                rig(Endpoint::unix(alt))
+            }
+            Endpoint::InProc(n) => rig(Endpoint::in_proc(format!("{n}-b"))),
+            other => rig(other.clone()),
+        };
+        // Warm up.
+        let _ = sweep_in_server(&c1, &d1, 4);
+        let server_t = sweep_in_server(&c1, &d1, STEPS);
+        let client_t = sweep_in_client(&c2, &d2, STEPS);
+        let server_up = c1.upcalls_handled();
+        let client_up = c2.upcalls_handled();
+        println!(
+            "{name:<10} {:>18.3} {:>18.3} {:>13.1}x {:>9}/{}",
+            server_t.as_secs_f64() * 1e3,
+            client_t.as_secs_f64() * 1e3,
+            client_t.as_secs_f64() / server_t.as_secs_f64().max(1e-12),
+            server_up,
+            client_up,
+        );
+    }
+    println!("{:-<84}", "");
+    println!("in-server placement makes ONE distributed upcall per gesture; the");
+    println!("client placement crosses the address space for every event.");
+}

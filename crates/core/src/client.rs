@@ -1,0 +1,439 @@
+//! The CLAM client runtime.
+//!
+//! "Each client requires at least two tasks … The first task executes the
+//! code of the application. This task blocks during RPC requests, while
+//! waiting for the return value. The second task handles all upcalls. The
+//! second task is initially blocked, and is unblocked on receipt of an
+//! upcall. After handling the event, any return value is sent back to the
+//! server, and then the task is blocked again." (section 4.4)
+//!
+//! [`ClamClient`] opens the two channels, runs the upcall-handler task,
+//! and keeps the [`ProcRegistry`] that stands in for procedure pointers:
+//! registering a closure yields a [`ProcId`], which travels to the server
+//! as an ordinary bundled argument and comes back to life there as a RUC
+//! object (section 3.5.2).
+
+use crate::wire::{ChannelRole, Hello};
+use clam_load::LoaderProxy;
+use clam_net::{Endpoint, MsgWriter};
+use clam_rpc::{
+    Caller, CallerConfig, Message, ProcId, Reply, RpcError, RpcResult, StatusCode, Target,
+    UpcallMsg,
+};
+use clam_task::{Event, Scheduler};
+use clam_xdr::{Bundle, Opaque};
+use parking_lot::Mutex;
+use rand::RngCore;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::session::{SessionCtl, SessionCtlProxy, SESSION_SERVICE_ID};
+
+type RawProc = Arc<dyn Fn(&Opaque) -> RpcResult<Opaque> + Send + Sync>;
+
+/// The client's table of procedures registered for upcalls.
+///
+/// This is the client half of the paper's procedure-pointer bundling: the
+/// "pointer" that crosses the wire is a [`ProcId`]; the registry maps it
+/// back to the real procedure when an upcall arrives.
+#[derive(Default)]
+pub struct ProcRegistry {
+    procs: Mutex<HashMap<u64, RawProc>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for ProcRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcRegistry")
+            .field("registered", &self.procs.lock().len())
+            .finish()
+    }
+}
+
+impl ProcRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> ProcRegistry {
+        ProcRegistry {
+            procs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Register a raw (bytes-level) procedure.
+    pub fn register_raw(&self, proc: RawProc) -> ProcId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.procs.lock().insert(id, proc);
+        ProcId { id }
+    }
+
+    /// Register a typed procedure; arguments and result bundle through
+    /// the generated stubs, so type agreement with the server's
+    /// declaration is the registration-time contract (section 4.1's
+    /// compile-time typing).
+    pub fn register<A, R, F>(&self, f: F) -> ProcId
+    where
+        A: Bundle + Clone + 'static,
+        R: Bundle + Clone + 'static,
+        F: Fn(A) -> RpcResult<R> + Send + Sync + 'static,
+    {
+        self.register_raw(Arc::new(move |args: &Opaque| {
+            let a: A = clam_xdr::decode(args.as_slice())
+                .map_err(|e| RpcError::status(StatusCode::BadArgs, e.to_string()))?;
+            let r = f(a)?;
+            Ok(Opaque::from(clam_xdr::encode(&r)?))
+        }))
+    }
+
+    /// Remove a registration; pending upcalls to it will fail.
+    pub fn unregister(&self, proc: ProcId) -> bool {
+        self.procs.lock().remove(&proc.id).is_some()
+    }
+
+    /// Look up a procedure.
+    #[must_use]
+    pub fn get(&self, proc: ProcId) -> Option<RawProc> {
+        self.procs.lock().get(&proc.id).cloned()
+    }
+
+    /// Number of registered procedures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.procs.lock().len()
+    }
+
+    /// True if nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.procs.lock().is_empty()
+    }
+}
+
+struct UpcallInbox {
+    queue: Mutex<VecDeque<UpcallMsg>>,
+    event: Event,
+    dead: AtomicBool,
+}
+
+/// A connected CLAM client: RPC caller, upcall-handler task, procedure
+/// registry.
+pub struct ClamClient {
+    sched: Scheduler,
+    caller: Arc<Caller>,
+    procs: Arc<ProcRegistry>,
+    upcall_writer: Arc<Mutex<Box<dyn MsgWriter>>>,
+    inbox: Arc<UpcallInbox>,
+    /// Upcalls handled so far (diagnostics and tests).
+    upcalls_handled: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ClamClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClamClient")
+            .field("procs", &self.procs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClamClient {
+    /// Connect both channels to a CLAM server at `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors connecting or handshaking.
+    pub fn connect(endpoint: &Endpoint) -> RpcResult<Arc<ClamClient>> {
+        Self::connect_with(endpoint, CallerConfig::default())
+    }
+
+    /// Connect with explicit batching configuration.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors connecting or handshaking.
+    pub fn connect_with(
+        endpoint: &Endpoint,
+        caller_config: CallerConfig,
+    ) -> RpcResult<Arc<ClamClient>> {
+        let nonce = rand::thread_rng().next_u64();
+
+        let mut rpc_ch = clam_net::connect(endpoint)?;
+        rpc_ch.send(&clam_xdr::encode(&Hello {
+            role: ChannelRole::Rpc,
+            nonce,
+        })?)?;
+        let mut upcall_ch = clam_net::connect(endpoint)?;
+        upcall_ch.send(&clam_xdr::encode(&Hello {
+            role: ChannelRole::Upcall,
+            nonce,
+        })?)?;
+
+        let sched = Scheduler::new("clam-client");
+        let (rpc_writer, rpc_reader) = rpc_ch.split();
+        let caller = Caller::new(&sched, rpc_writer, caller_config);
+        caller.spawn_reply_pump(rpc_reader);
+
+        let (up_writer, mut up_reader) = upcall_ch.split();
+        let inbox = Arc::new(UpcallInbox {
+            queue: Mutex::new(VecDeque::new()),
+            event: Event::new(&sched),
+            dead: AtomicBool::new(false),
+        });
+
+        // Upcall read pump (OS thread, plays the kernel).
+        {
+            let inbox = Arc::clone(&inbox);
+            std::thread::Builder::new()
+                .name("clam-upcall-pump".to_string())
+                .spawn(move || {
+                    loop {
+                        let Ok(frame) = up_reader.recv() else { break };
+                        match Message::from_frame(&frame) {
+                            Ok(Message::Upcall(up)) => {
+                                inbox.queue.lock().push_back(up);
+                                inbox.event.signal();
+                            }
+                            Ok(_) | Err(_) => break,
+                        }
+                    }
+                    inbox.dead.store(true, Ordering::Release);
+                    inbox.event.signal();
+                })
+                .expect("failed to spawn upcall pump");
+        }
+
+        let client = Arc::new(ClamClient {
+            sched,
+            caller,
+            procs: Arc::new(ProcRegistry::new()),
+            upcall_writer: Arc::new(Mutex::new(up_writer)),
+            inbox,
+            upcalls_handled: Arc::new(AtomicU64::new(0)),
+        });
+
+        // The upcall-handler task: initially blocked, unblocked on
+        // receipt of an upcall, replies, blocks again (section 4.4).
+        {
+            let procs = Arc::clone(&client.procs);
+            let writer = Arc::clone(&client.upcall_writer);
+            let inbox = Arc::clone(&client.inbox);
+            let handled = Arc::clone(&client.upcalls_handled);
+            client.sched.spawn("upcall-handler", move || loop {
+                let up = loop {
+                    if let Some(up) = inbox.queue.lock().pop_front() {
+                        break up;
+                    }
+                    if inbox.dead.load(Ordering::Acquire) {
+                        return;
+                    }
+                    inbox.event.wait();
+                };
+                let reply = Self::run_upcall(&procs, &up);
+                handled.fetch_add(1, Ordering::Relaxed);
+                if up.request_id != 0 {
+                    let Ok(frame) = Message::UpcallReply(reply).to_frame() else {
+                        return;
+                    };
+                    if writer.lock().send(&frame).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+
+        Ok(client)
+    }
+
+    fn run_upcall(procs: &ProcRegistry, up: &UpcallMsg) -> Reply {
+        let outcome = match procs.get(ProcId { id: up.proc_id }) {
+            Some(proc) => {
+                // Handler faults must not kill the upcall task: report
+                // them as a Fault status instead.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    // Calls the handler makes while its upcall is
+                    // outstanding are nested (section 4.4); tag them so
+                    // the server services them out of band.
+                    clam_rpc::nested_call_scope(|| proc(&up.args))
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "handler fault".to_string());
+                        Err(RpcError::status(StatusCode::Fault, msg))
+                    }
+                }
+            }
+            None => Err(RpcError::status(
+                StatusCode::NoSuchMethod,
+                format!("no procedure {} registered", up.proc_id),
+            )),
+        };
+        match outcome {
+            Ok(results) => Reply {
+                request_id: up.request_id,
+                status: StatusCode::Ok,
+                detail: String::new(),
+                results,
+            },
+            Err(e) => {
+                let (status, detail) = match e {
+                    RpcError::Status { code, message } => (code, message),
+                    other => (StatusCode::AppError, other.to_string()),
+                };
+                Reply {
+                    request_id: up.request_id,
+                    status,
+                    detail,
+                    results: Opaque::new(),
+                }
+            }
+        }
+    }
+
+    /// The client's RPC caller (aim proxies through this).
+    #[must_use]
+    pub fn caller(&self) -> &Arc<Caller> {
+        &self.caller
+    }
+
+    /// The client's task scheduler (the application task side).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// The procedure registry.
+    #[must_use]
+    pub fn procs(&self) -> &Arc<ProcRegistry> {
+        &self.procs
+    }
+
+    /// Register a typed upcall procedure; pass the returned [`ProcId`] to
+    /// any server interface that accepts registrations.
+    pub fn register_upcall<A, R, F>(&self, f: F) -> ProcId
+    where
+        A: Bundle + Clone + 'static,
+        R: Bundle + Clone + 'static,
+        F: Fn(A) -> RpcResult<R> + Send + Sync + 'static,
+    {
+        self.procs.register(f)
+    }
+
+    /// Proxy to the server's dynamic-loading service.
+    #[must_use]
+    pub fn loader(&self) -> LoaderProxy {
+        LoaderProxy::new(
+            Arc::clone(&self.caller),
+            Target::Builtin(clam_load::LOADER_SERVICE_ID),
+        )
+    }
+
+    /// Proxy to the server's session-control service.
+    #[must_use]
+    pub fn session(&self) -> SessionCtlProxy {
+        SessionCtlProxy::new(Arc::clone(&self.caller), Target::Builtin(SESSION_SERVICE_ID))
+    }
+
+    /// Proxy to the server's name service (share handles with other
+    /// clients).
+    #[must_use]
+    pub fn names(&self) -> crate::naming::NameServiceProxy {
+        crate::naming::NameServiceProxy::new(
+            Arc::clone(&self.caller),
+            Target::Builtin(crate::naming::NAME_SERVICE_ID),
+        )
+    }
+
+    /// Register `f` as this client's fault handler (section 4.3's error
+    /// reporting): the server upcalls it when loaded code faults on this
+    /// client's behalf.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors making the registration call.
+    pub fn set_error_handler<F>(&self, f: F) -> RpcResult<ProcId>
+    where
+        F: Fn(crate::session::ErrorReport) -> RpcResult<()> + Send + Sync + 'static,
+    {
+        let proc = self.register_upcall(f);
+        self.session().set_error_handler(proc)?;
+        Ok(proc)
+    }
+
+    /// Number of upcalls this client has handled.
+    #[must_use]
+    pub fn upcalls_handled(&self) -> u64 {
+        self.upcalls_handled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_registry_round_trips_typed_procedures() {
+        let reg = ProcRegistry::new();
+        let id = reg.register(|x: u32| Ok(x * 2));
+        assert!(!id.is_null());
+        let raw = reg.get(id).unwrap();
+        let args = Opaque::from(clam_xdr::encode(&21u32).unwrap());
+        let out = raw(&args).unwrap();
+        let v: u32 = clam_xdr::decode(out.as_slice()).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn unregistered_procs_are_gone() {
+        let reg = ProcRegistry::new();
+        let id = reg.register(|(): ()| Ok(()));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.unregister(id));
+        assert!(!reg.unregister(id));
+        assert!(reg.get(id).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn bad_args_to_typed_proc_is_bad_args() {
+        let reg = ProcRegistry::new();
+        let id = reg.register(|x: u64| Ok(x));
+        let raw = reg.get(id).unwrap();
+        let err = raw(&Opaque::from(vec![1u8])).unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::BadArgs));
+    }
+
+    #[test]
+    fn run_upcall_reports_missing_procedure() {
+        let reg = ProcRegistry::new();
+        let reply = ClamClient::run_upcall(
+            &reg,
+            &UpcallMsg {
+                proc_id: 99,
+                request_id: 1,
+                args: Opaque::new(),
+            },
+        );
+        assert_eq!(reply.status, StatusCode::NoSuchMethod);
+    }
+
+    #[test]
+    fn run_upcall_contains_handler_panics() {
+        let reg = ProcRegistry::new();
+        let id = reg.register(|(): ()| -> RpcResult<()> { panic!("handler bug") });
+        let reply = ClamClient::run_upcall(
+            &reg,
+            &UpcallMsg {
+                proc_id: id.id,
+                request_id: 1,
+                args: Opaque::from(clam_xdr::encode(&()).unwrap()),
+            },
+        );
+        assert_eq!(reply.status, StatusCode::Fault);
+        assert!(reply.detail.contains("handler bug"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Server configuration.
+
+use clam_rpc::CallerConfig;
+
+/// Tuning for a [`ClamServer`](crate::ClamServer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// How many upcalls may be in flight to one client at a time.
+    ///
+    /// The paper's first implementation allows exactly one ("this
+    /// limitation … may be relaxed in future designs", section 4.4);
+    /// values above 1 implement the relaxation, measured by the
+    /// `upcall_limit` ablation bench.
+    pub max_concurrent_upcalls: usize,
+    /// Batching configuration for server-originated callers (unused by
+    /// the upcall path itself; reserved for server-to-server calls).
+    pub caller: CallerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_concurrent_upcalls: 1,
+            caller: CallerConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The paper's configuration: one active upcall per client.
+    #[must_use]
+    pub fn paper_faithful() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Relax the upcall limit (the paper's future-design note).
+    #[must_use]
+    pub fn with_max_concurrent_upcalls(mut self, n: usize) -> ServerConfig {
+        assert!(n >= 1, "at least one upcall must be allowed");
+        self.max_concurrent_upcalls = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_limit() {
+        assert_eq!(ServerConfig::default().max_concurrent_upcalls, 1);
+        assert_eq!(
+            ServerConfig::paper_faithful().max_concurrent_upcalls,
+            1
+        );
+    }
+
+    #[test]
+    fn relaxation_is_expressible() {
+        let c = ServerConfig::default().with_max_concurrent_upcalls(8);
+        assert_eq!(c.max_concurrent_upcalls, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one upcall")]
+    fn zero_upcalls_is_rejected() {
+        let _ = ServerConfig::default().with_max_concurrent_upcalls(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The name service: share server objects between clients.
+//!
+//! The paper lists "requirements for sharing" among the reasons a user
+//! places a layer in the server (section 2). Sharing needs a rendezvous:
+//! one client binds a handle under a well-known name, another looks it up
+//! and talks to the same object. Binding validates the handle against
+//! the object table — a client can only publish capabilities it
+//! legitimately holds (the paper's rule that an object pointer must be
+//! passed *out* of the server before it can be passed back in).
+
+use clam_rpc::{Handle, RpcError, RpcResult, RpcServer, StatusCode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// Builtin service id of the name service.
+pub const NAME_SERVICE_ID: u32 = 3;
+
+clam_rpc::remote_interface! {
+    /// Publish/lookup object handles by name.
+    pub interface NameService {
+        proxy NameServiceProxy;
+        skeleton NameServiceSkeleton;
+        class NameServiceClass;
+
+        /// Bind `name` to a handle you hold. Rebinding replaces.
+        fn bind(name: String, handle: Handle) -> () = 1;
+        /// Look up a name.
+        fn lookup(name: String) -> Handle = 2;
+        /// Remove a binding; returns whether it existed.
+        fn unbind(name: String) -> bool = 3;
+        /// All bound names, sorted.
+        fn list_names() -> Vec<String> = 4;
+    }
+}
+
+/// Server-side implementation of [`NameService`].
+pub struct NameServiceImpl {
+    server: Weak<RpcServer>,
+    bindings: Mutex<HashMap<String, Handle>>,
+}
+
+impl std::fmt::Debug for NameServiceImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameServiceImpl")
+            .field("bindings", &self.bindings.lock().len())
+            .finish()
+    }
+}
+
+impl NameServiceImpl {
+    /// Wire a name service to a server and register it under
+    /// [`NAME_SERVICE_ID`].
+    pub fn attach(server: &Arc<RpcServer>) -> Arc<NameServiceImpl> {
+        let imp = Arc::new(NameServiceImpl {
+            server: Arc::downgrade(server),
+            bindings: Mutex::new(HashMap::new()),
+        });
+        server.register_service(
+            NAME_SERVICE_ID,
+            Arc::new(NameServiceSkeleton::new(Arc::clone(&imp))),
+        );
+        imp
+    }
+
+    fn server(&self) -> RpcResult<Arc<RpcServer>> {
+        self.server
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "server is gone"))
+    }
+}
+
+impl NameService for NameServiceImpl {
+    fn bind(&self, name: String, handle: Handle) -> RpcResult<()> {
+        if name.is_empty() {
+            return Err(RpcError::status(StatusCode::BadArgs, "empty name"));
+        }
+        // Only live capabilities may be published: validate tag and
+        // existence against the object table.
+        let server = self.server()?;
+        server.objects().lookup(handle)?;
+        self.bindings.lock().insert(name, handle);
+        Ok(())
+    }
+
+    fn lookup(&self, name: String) -> RpcResult<Handle> {
+        self.bindings
+            .lock()
+            .get(&name)
+            .copied()
+            .ok_or_else(|| {
+                RpcError::status(StatusCode::NoSuchObject, format!("no binding {name:?}"))
+            })
+    }
+
+    fn unbind(&self, name: String) -> RpcResult<bool> {
+        Ok(self.bindings.lock().remove(&name).is_some())
+    }
+
+    fn list_names(&self) -> RpcResult<Vec<String>> {
+        let mut names: Vec<String> = self.bindings.lock().keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> (Arc<RpcServer>, Arc<NameServiceImpl>, Handle) {
+        let server = Arc::new(RpcServer::new());
+        let imp = NameServiceImpl::attach(&server);
+        let handle = server.register_object(1, 1, Arc::new(7u32));
+        (server, imp, handle)
+    }
+
+    #[test]
+    fn bind_lookup_unbind_cycle() {
+        let (_server, names, handle) = rig();
+        names.bind("thing".into(), handle).unwrap();
+        assert_eq!(names.lookup("thing".into()).unwrap(), handle);
+        assert_eq!(names.list_names().unwrap(), vec!["thing".to_string()]);
+        assert!(names.unbind("thing".into()).unwrap());
+        assert!(!names.unbind("thing".into()).unwrap());
+        assert!(names.lookup("thing".into()).is_err());
+    }
+
+    #[test]
+    fn binding_a_forged_handle_is_refused() {
+        let (_server, names, handle) = rig();
+        let forged = Handle {
+            object_id: handle.object_id,
+            tag: handle.tag.wrapping_add(1),
+        };
+        let err = names.bind("x".into(), forged).unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
+    }
+
+    #[test]
+    fn binding_nil_or_unknown_is_refused() {
+        let (_server, names, _) = rig();
+        assert!(names.bind("nil".into(), Handle::NIL).is_err());
+        assert!(names
+            .bind(
+                "ghost".into(),
+                Handle {
+                    object_id: 999,
+                    tag: 1
+                }
+            )
+            .is_err());
+        assert!(names.bind(String::new(), Handle::NIL).is_err());
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let (server, names, h1) = rig();
+        let h2 = server.register_object(1, 1, Arc::new(8u32));
+        names.bind("slot".into(), h1).unwrap();
+        names.bind("slot".into(), h2).unwrap();
+        assert_eq!(names.lookup("slot".into()).unwrap(), h2);
+    }
+}

@@ -1,0 +1,501 @@
+//! The Remote Upcall (RUC) class — section 3.5.2.
+//!
+//! "The server bundler … stores the client's procedure pointer, a pointer
+//! to the server's upcall bundler, and the client's IPC connection
+//! identifier in an object of a Remote Upcall (RUC) class. The purpose of
+//! the RUC class is to control distributed upcalls."
+//!
+//! [`UpcallRouter`] is the per-client side of that control: it owns the
+//! upcall channel's writer, matches upcall replies to waiting server
+//! tasks, and enforces the active-upcall limit of section 4.4.
+//! [`RemoteUpcall`] is one RUC object: a client procedure id bound to its
+//! router; invoking it performs the distributed upcall.
+
+use clam_net::{MsgReader, MsgWriter};
+use clam_rpc::{Message, ProcId, Reply, RpcError, RpcResult, StatusCode, UpcallMsg};
+use clam_task::{Event, Scheduler};
+use clam_xdr::Opaque;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct UpcallWait {
+    event: Event,
+    slot: Mutex<Option<RpcResult<Opaque>>>,
+}
+
+/// Per-client controller of the upcall channel.
+///
+/// Owns the writer half; a pump thread feeds replies back through
+/// [`handle_reply`](UpcallRouter::handle_reply). The permit machinery
+/// implements "we allow only one upcall to be active per client" —
+/// a server task invoking a synchronous upcall while another is active
+/// blocks until the slot frees (with `max_concurrent_upcalls > 1`, until
+/// *a* slot frees).
+pub struct UpcallRouter {
+    writer: Mutex<Box<dyn MsgWriter>>,
+    pending: Mutex<HashMap<u64, Arc<UpcallWait>>>,
+    permits: Event,
+    next_request: AtomicU64,
+    closed: AtomicBool,
+    sched: Scheduler,
+    max_active: usize,
+    /// Synchronous upcalls currently in flight (including those waiting
+    /// for a permit). While nonzero, the session's RPC pump services
+    /// inbound frames in auxiliary tasks so a client's upcall handler
+    /// can call back into the server (section 4.4's nested flow).
+    sync_in_flight: AtomicU64,
+}
+
+impl std::fmt::Debug for UpcallRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpcallRouter")
+            .field("max_active", &self.max_active)
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl UpcallRouter {
+    /// Create a router over the upcall channel's writer half.
+    #[must_use]
+    pub fn new(sched: &Scheduler, writer: Box<dyn MsgWriter>, max_active: usize) -> Arc<Self> {
+        let permits = Event::new(sched);
+        for _ in 0..max_active {
+            permits.signal();
+        }
+        Arc::new(UpcallRouter {
+            writer: Mutex::new(writer),
+            pending: Mutex::new(HashMap::new()),
+            permits,
+            next_request: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+            sched: sched.clone(),
+            max_active,
+            sync_in_flight: AtomicU64::new(0),
+        })
+    }
+
+    /// True while at least one synchronous upcall is in flight on this
+    /// router. The session pump consults this to decide whether inbound
+    /// frames may be nested calls from the client's upcall handler.
+    #[must_use]
+    pub fn sync_upcall_active(&self) -> bool {
+        self.sync_in_flight.load(Ordering::Acquire) > 0
+    }
+
+    /// The configured active-upcall limit.
+    #[must_use]
+    pub fn max_active(&self) -> usize {
+        self.max_active
+    }
+
+    /// Perform a synchronous distributed upcall: acquire an active slot,
+    /// send, block until the client's reply.
+    ///
+    /// From a server task, blocking suspends the *task* — the scheduler
+    /// runs other work meanwhile, exactly the flow of section 4.3 ("while
+    /// the client task is active the server task is blocked").
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, [`RpcError::Disconnected`] if the client goes
+    /// away, or the client procedure's error status.
+    pub fn invoke(&self, proc_id: ProcId, args: Opaque) -> RpcResult<Opaque> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RpcError::Disconnected);
+        }
+        // Mark the sync upcall BEFORE anything is sent: a nested call
+        // from the client's handler must find the flag already up.
+        self.sync_in_flight.fetch_add(1, Ordering::AcqRel);
+        // One active upcall per client (section 4.4).
+        self.permits.wait();
+        let result = self.invoke_inner(proc_id, args);
+        self.permits.signal();
+        self.sync_in_flight.fetch_sub(1, Ordering::AcqRel);
+        result
+    }
+
+    fn invoke_inner(&self, proc_id: ProcId, args: Opaque) -> RpcResult<Opaque> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let wait = Arc::new(UpcallWait {
+            event: Event::new(&self.sched),
+            slot: Mutex::new(None),
+        });
+        self.pending.lock().insert(request_id, Arc::clone(&wait));
+
+        let msg = Message::Upcall(UpcallMsg {
+            proc_id: proc_id.id,
+            request_id,
+            args,
+        });
+        let send_result = (|| -> RpcResult<()> {
+            let frame = msg.to_frame()?;
+            self.writer.lock().send(&frame)?;
+            Ok(())
+        })();
+        if let Err(e) = send_result {
+            self.pending.lock().remove(&request_id);
+            return Err(e);
+        }
+
+        wait.event.wait();
+        let outcome = wait.slot.lock().take();
+        outcome.unwrap_or(Err(RpcError::Disconnected))
+    }
+
+    /// Perform an asynchronous upcall: no reply, no slot consumed.
+    ///
+    /// # Errors
+    ///
+    /// Transport and bundling errors.
+    pub fn invoke_async(&self, proc_id: ProcId, args: Opaque) -> RpcResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RpcError::Disconnected);
+        }
+        let msg = Message::Upcall(UpcallMsg {
+            proc_id: proc_id.id,
+            request_id: 0,
+            args,
+        });
+        let frame = msg.to_frame()?;
+        self.writer.lock().send(&frame)?;
+        Ok(())
+    }
+
+    /// Deliver an upcall reply from the pump. Returns false for unmatched
+    /// replies.
+    pub fn handle_reply(&self, reply: Reply) -> bool {
+        let Some(wait) = self.pending.lock().remove(&reply.request_id) else {
+            return false;
+        };
+        let outcome = if reply.status == StatusCode::Ok {
+            Ok(reply.results)
+        } else {
+            Err(RpcError::Status {
+                code: reply.status,
+                message: reply.detail,
+            })
+        };
+        *wait.slot.lock() = Some(outcome);
+        wait.event.signal();
+        true
+    }
+
+    /// Number of upcalls awaiting replies.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Fail every outstanding upcall (client teardown).
+    pub fn fail_all(&self) {
+        self.closed.store(true, Ordering::Release);
+        let drained: Vec<_> = self.pending.lock().drain().collect();
+        for (_, wait) in drained {
+            *wait.slot.lock() = Some(Err(RpcError::Disconnected));
+            wait.event.signal();
+        }
+    }
+
+    /// Run the upcall-reply pump on the calling thread until the channel
+    /// closes. Spawn on a dedicated OS thread.
+    pub fn pump_replies(self: &Arc<Self>, mut reader: Box<dyn MsgReader>) {
+        loop {
+            let frame = match reader.recv() {
+                Ok(f) => f,
+                Err(_) => break,
+            };
+            match Message::from_frame(&frame) {
+                Ok(Message::UpcallReply(reply)) => {
+                    self.handle_reply(reply);
+                }
+                Ok(_) | Err(_) => break,
+            }
+        }
+        self.fail_all();
+    }
+
+    /// Spawn the reply pump on a new OS thread.
+    ///
+    /// Holds the router weakly so dropping all router handles tears the
+    /// link down instead of cycling through the pump.
+    pub fn spawn_reply_pump(
+        self: &Arc<Self>,
+        mut reader: Box<dyn MsgReader>,
+    ) -> std::thread::JoinHandle<()> {
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name("clam-upcall-reply-pump".to_string())
+            .spawn(move || {
+                loop {
+                    let frame = match reader.recv() {
+                        Ok(f) => f,
+                        Err(_) => break,
+                    };
+                    let Some(router) = weak.upgrade() else { break };
+                    match Message::from_frame(&frame) {
+                        Ok(Message::UpcallReply(reply)) => {
+                            router.handle_reply(reply);
+                        }
+                        Ok(_) | Err(_) => break,
+                    }
+                }
+                if let Some(router) = weak.upgrade() {
+                    router.fail_all();
+                }
+            })
+            .expect("failed to spawn upcall reply pump")
+    }
+}
+
+/// One RUC object: a client procedure bound to its connection's router.
+///
+/// "The compiler generates code to call a procedure in the RUC class
+/// whenever this procedure pointer is used" — here, lower layers hold a
+/// [`UpcallTarget`](crate::UpcallTarget) wrapping this object and its
+/// `invoke` *is* that procedure.
+#[derive(Debug, Clone)]
+pub struct RemoteUpcall {
+    router: Arc<UpcallRouter>,
+    proc_id: ProcId,
+}
+
+impl RemoteUpcall {
+    /// Bind a client procedure to its connection's router.
+    #[must_use]
+    pub fn new(router: Arc<UpcallRouter>, proc_id: ProcId) -> Arc<RemoteUpcall> {
+        Arc::new(RemoteUpcall { router, proc_id })
+    }
+
+    /// The client procedure this RUC object invokes.
+    #[must_use]
+    pub fn proc_id(&self) -> ProcId {
+        self.proc_id
+    }
+
+    /// Synchronous distributed upcall with pre-bundled arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`UpcallRouter::invoke`].
+    pub fn invoke(&self, args: Opaque) -> RpcResult<Opaque> {
+        self.router.invoke(self.proc_id, args)
+    }
+
+    /// Asynchronous distributed upcall with pre-bundled arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`UpcallRouter::invoke_async`].
+    pub fn invoke_async(&self, args: Opaque) -> RpcResult<()> {
+        self.router.invoke_async(self.proc_id, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clam_net::pair;
+
+    /// A fake client: answers every sync upcall by echoing args with a
+    /// marker byte appended.
+    fn fake_client(mut chan: clam_net::Channel) -> std::thread::JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut served = 0;
+            while let Ok(frame) = chan.recv() {
+                let Ok(Message::Upcall(up)) = Message::from_frame(&frame) else {
+                    break;
+                };
+                served += 1;
+                if up.request_id != 0 {
+                    let mut results = up.args.into_inner();
+                    results.push(0xEE);
+                    let reply = Message::UpcallReply(Reply {
+                        request_id: up.request_id,
+                        status: StatusCode::Ok,
+                        detail: String::new(),
+                        results: Opaque::from(results),
+                    });
+                    chan.send(&reply.to_frame().unwrap()).unwrap();
+                }
+            }
+            served
+        })
+    }
+
+    fn rig(max_active: usize) -> (Arc<UpcallRouter>, std::thread::JoinHandle<u64>, Scheduler) {
+        let (server_end, client_end) = pair();
+        let sched = Scheduler::new("ruc-test");
+        let (w, r) = server_end.split();
+        let router = UpcallRouter::new(&sched, w, max_active);
+        router.spawn_reply_pump(r);
+        let client = fake_client(client_end);
+        (router, client, sched)
+    }
+
+    #[test]
+    fn sync_upcall_round_trips() {
+        let (router, _client, _sched) = rig(1);
+        let ruc = RemoteUpcall::new(Arc::clone(&router), ProcId { id: 7 });
+        let out = ruc.invoke(Opaque::from(vec![1, 2])).unwrap();
+        assert_eq!(out.as_slice(), &[1, 2, 0xEE]);
+        assert_eq!(router.outstanding(), 0);
+    }
+
+    #[test]
+    fn async_upcall_does_not_wait() {
+        let (router, _client, _sched) = rig(1);
+        let ruc = RemoteUpcall::new(Arc::clone(&router), ProcId { id: 7 });
+        ruc.invoke_async(Opaque::from(vec![9])).unwrap();
+        assert_eq!(router.outstanding(), 0);
+    }
+
+    #[test]
+    fn upcall_error_status_propagates() {
+        let (server_end, mut client_end) = pair();
+        let sched = Scheduler::new("ruc-err");
+        let (w, r) = server_end.split();
+        let router = UpcallRouter::new(&sched, w, 1);
+        router.spawn_reply_pump(r);
+        let t = std::thread::spawn(move || {
+            let frame = client_end.recv().unwrap();
+            let Ok(Message::Upcall(up)) = Message::from_frame(&frame) else {
+                panic!()
+            };
+            let reply = Message::UpcallReply(Reply {
+                request_id: up.request_id,
+                status: StatusCode::Fault,
+                detail: "handler crashed".into(),
+                results: Opaque::new(),
+            });
+            client_end.send(&reply.to_frame().unwrap()).unwrap();
+            client_end
+        });
+        let ruc = RemoteUpcall::new(router, ProcId { id: 1 });
+        let err = ruc.invoke(Opaque::new()).unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::Fault));
+        drop(t.join().unwrap());
+    }
+
+    #[test]
+    fn client_disconnect_fails_outstanding_upcalls() {
+        let (server_end, client_end) = pair();
+        let sched = Scheduler::new("ruc-disc");
+        let (w, r) = server_end.split();
+        let router = UpcallRouter::new(&sched, w, 1);
+        router.spawn_reply_pump(r);
+        let t = std::thread::spawn(move || {
+            let mut client_end = client_end;
+            let _ = client_end.recv();
+            drop(client_end); // hang up without replying
+        });
+        let ruc = RemoteUpcall::new(Arc::clone(&router), ProcId { id: 1 });
+        let err = ruc.invoke(Opaque::new()).unwrap_err();
+        assert!(matches!(err, RpcError::Disconnected));
+        t.join().unwrap();
+        assert!(matches!(
+            ruc.invoke(Opaque::new()).unwrap_err(),
+            RpcError::Disconnected
+        ));
+    }
+
+    #[test]
+    fn upcall_limit_serializes_concurrent_upcalls() {
+        // Two server tasks race to upcall; with max_active = 1 the second
+        // must wait until the first completes.
+        let (server_end, client_end) = pair();
+        let sched = Scheduler::new("ruc-limit");
+        let (w, r) = server_end.split();
+        let router = UpcallRouter::new(&sched, w, 1);
+        router.spawn_reply_pump(r);
+
+        // A slow fake client: observes both requests before replying, if
+        // the router lets both through (it must not).
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let t = std::thread::spawn(move || {
+            let mut chan = client_end;
+            for _ in 0..2 {
+                let Ok(frame) = chan.recv() else { return };
+                let Ok(Message::Upcall(up)) = Message::from_frame(&frame) else {
+                    return;
+                };
+                // Record how many upcalls were in flight when this one
+                // arrived: with the limit, always zero others.
+                seen2.lock().push(up.request_id);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                let reply = Message::UpcallReply(Reply {
+                    request_id: up.request_id,
+                    status: StatusCode::Ok,
+                    detail: String::new(),
+                    results: Opaque::new(),
+                });
+                let _ = chan.send(&reply.to_frame().unwrap());
+            }
+        });
+
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let router = Arc::clone(&router);
+            handles.push(sched.spawn("upcaller", move || {
+                let ruc = RemoteUpcall::new(router, ProcId { id: 1 });
+                ruc.invoke(Opaque::new()).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.join().unwrap();
+        // The second upcall was sent only after the first replied: the
+        // fake client saw them strictly one at a time (request ids in
+        // order and the router never had 2 outstanding).
+        assert_eq!(*seen.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn relaxed_limit_allows_parallel_upcalls() {
+        let (server_end, client_end) = pair();
+        let sched = Scheduler::new("ruc-relaxed");
+        let (w, r) = server_end.split();
+        let router = UpcallRouter::new(&sched, w, 2);
+        router.spawn_reply_pump(r);
+
+        // Fake client that collects BOTH requests before replying to
+        // either — deadlock unless two upcalls may be active at once.
+        let t = std::thread::spawn(move || {
+            let mut chan = client_end;
+            let mut reqs = Vec::new();
+            for _ in 0..2 {
+                let frame = chan.recv().unwrap();
+                let Ok(Message::Upcall(up)) = Message::from_frame(&frame) else {
+                    panic!()
+                };
+                reqs.push(up.request_id);
+            }
+            for id in reqs {
+                let reply = Message::UpcallReply(Reply {
+                    request_id: id,
+                    status: StatusCode::Ok,
+                    detail: String::new(),
+                    results: Opaque::new(),
+                });
+                chan.send(&reply.to_frame().unwrap()).unwrap();
+            }
+        });
+
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let router = Arc::clone(&router);
+            handles.push(sched.spawn("upcaller", move || {
+                let ruc = RemoteUpcall::new(router, ProcId { id: 1 });
+                ruc.invoke(Opaque::new()).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,436 @@
+//! The CLAM server runtime.
+//!
+//! "The server itself … contains no code specific to window management"
+//! (section 2): it provides dynamic loading, version control, thread
+//! scheduling and synchronization, and distributed upcalls; everything
+//! application-specific arrives as loaded modules. [`ClamServer`] is that
+//! kernel. Per client it maintains the two channels of section 4.4, a
+//! main RPC task that serializes the client's requests ("the main task
+//! handles RPC requests from clients", section 4.4), and an upcall router
+//! enforcing the active-upcall limit. Faults in loaded code trigger
+//! error-reporting upcalls from fresh tasks (section 4.3).
+
+use crate::config::ServerConfig;
+use crate::naming::NameServiceImpl;
+use crate::ruc::{RemoteUpcall, UpcallRouter};
+use crate::session::{
+    ErrorReport, Session, SessionCtlImpl, SessionCtlSkeleton, SessionRegistry, SESSION_SERVICE_ID,
+};
+use crate::upcall::UpcallTarget;
+use crate::wire::{ChannelRole, Hello};
+use clam_load::{DynamicLoader, LoaderImpl, Module};
+use clam_net::{Channel, Endpoint, Listener};
+use clam_rpc::{ConnId, Message, ProcId, RpcError, RpcResult, RpcServer, StatusCode};
+use clam_task::Scheduler;
+use clam_xdr::Bundle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Builder for a [`ClamServer`].
+#[derive(Default)]
+pub struct ClamServerBuilder {
+    config: ServerConfig,
+    endpoints: Vec<Endpoint>,
+    modules: Vec<Arc<dyn Module>>,
+}
+
+impl std::fmt::Debug for ClamServerBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClamServerBuilder")
+            .field("config", &self.config)
+            .field("endpoints", &self.endpoints)
+            .field("modules", &self.modules.len())
+            .finish()
+    }
+}
+
+impl ClamServerBuilder {
+    /// Set the server configuration.
+    #[must_use]
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Listen on an endpoint (repeatable; the paper's server serves
+    /// Unix-domain and TCP clients side by side).
+    #[must_use]
+    pub fn listen(mut self, endpoint: Endpoint) -> Self {
+        self.endpoints.push(endpoint);
+        self
+    }
+
+    /// Install a module, making it loadable by clients.
+    #[must_use]
+    pub fn install(mut self, module: Arc<dyn Module>) -> Self {
+        self.modules.push(module);
+        self
+    }
+
+    /// Start the server: bind listeners, spawn accept threads, wire the
+    /// loader and session services.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors binding listeners; loader errors installing
+    /// modules.
+    pub fn build(self) -> RpcResult<Arc<ClamServer>> {
+        ClamServer::start(self.config, self.endpoints, self.modules)
+    }
+}
+
+/// The CLAM server: RPC dispatch, dynamic loading, tasks, and distributed
+/// upcalls under one roof.
+pub struct ClamServer {
+    rpc: Arc<RpcServer>,
+    loader_impl: Arc<LoaderImpl>,
+    sched: Scheduler,
+    sessions: Arc<SessionRegistry>,
+    config: ServerConfig,
+    next_conn: AtomicU64,
+    shutting_down: AtomicBool,
+    endpoints: Vec<Endpoint>,
+    /// Half-open clients: nonce → the channel that arrived first.
+    pending_pairs: Mutex<HashMap<u64, (ChannelRole, Channel)>>,
+    #[allow(dead_code)] // owned to keep listeners alive
+    listeners: Vec<Arc<dyn Listener>>,
+}
+
+impl std::fmt::Debug for ClamServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClamServer")
+            .field("endpoints", &self.endpoints)
+            .field("sessions", &self.sessions.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClamServer {
+    /// Start building a server.
+    #[must_use]
+    pub fn builder() -> ClamServerBuilder {
+        ClamServerBuilder {
+            config: ServerConfig::paper_faithful(),
+            endpoints: Vec::new(),
+            modules: Vec::new(),
+        }
+    }
+
+    fn start(
+        config: ServerConfig,
+        endpoints: Vec<Endpoint>,
+        modules: Vec<Arc<dyn Module>>,
+    ) -> RpcResult<Arc<ClamServer>> {
+        let rpc = Arc::new(RpcServer::new());
+        let loader = Arc::new(DynamicLoader::new());
+        for module in modules {
+            loader.install(module)?;
+        }
+        let loader_impl = LoaderImpl::attach(&rpc, loader);
+        let sessions = Arc::new(SessionRegistry::new());
+        rpc.register_service(
+            SESSION_SERVICE_ID,
+            Arc::new(SessionCtlSkeleton::new(Arc::new(SessionCtlImpl::new(
+                Arc::clone(&sessions),
+            )))),
+        );
+        NameServiceImpl::attach(&rpc);
+
+        let mut listeners = Vec::new();
+        let mut resolved = Vec::new();
+        for endpoint in &endpoints {
+            let listener = clam_net::listen(endpoint)?;
+            resolved.push(listener.endpoint());
+            listeners.push(listener);
+        }
+
+        let server = Arc::new(ClamServer {
+            rpc,
+            loader_impl,
+            sched: Scheduler::new("clam-server"),
+            sessions,
+            config,
+            next_conn: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            endpoints: resolved,
+            pending_pairs: Mutex::new(HashMap::new()),
+            listeners: listeners.clone(),
+        });
+
+        // Error-reporting upcalls (section 4.3): when loaded code faults,
+        // a new task reports to the faulting client's error handler.
+        let weak = Arc::downgrade(&server);
+        server.rpc.set_fault_observer(Arc::new(move |conn, ctx, msg| {
+            let Some(server) = weak.upgrade() else { return };
+            let report = ErrorReport {
+                message: msg.to_string(),
+                method: ctx.method,
+                request_id: ctx.request_id,
+            };
+            server.report_error(conn, report);
+        }));
+
+        for listener in listeners {
+            let weak = Arc::downgrade(&server);
+            std::thread::Builder::new()
+                .name("clam-accept".to_string())
+                .spawn(move || {
+                    while let Ok(channel) = listener.accept() {
+                        let Some(server) = weak.upgrade() else { break };
+                        server.admit(channel);
+                    }
+                })
+                .expect("failed to spawn accept thread");
+        }
+
+        Ok(server)
+    }
+
+    /// The endpoints this server listens on, with ephemeral ports
+    /// resolved — connect clients to these.
+    #[must_use]
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// The underlying RPC dispatch engine.
+    #[must_use]
+    pub fn rpc(&self) -> &Arc<RpcServer> {
+        &self.rpc
+    }
+
+    /// The dynamic loader (install modules after start).
+    #[must_use]
+    pub fn loader(&self) -> &Arc<DynamicLoader> {
+        self.loader_impl.loader()
+    }
+
+    /// The server's task scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Live client sessions.
+    #[must_use]
+    pub fn sessions(&self) -> &Arc<SessionRegistry> {
+        &self.sessions
+    }
+
+    /// The server configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Spawn a server task (input handling, error reporting, …).
+    pub fn spawn_task(
+        &self,
+        name: &str,
+        f: impl FnOnce() + Send + 'static,
+    ) -> clam_task::JoinHandle {
+        self.sched.spawn(name, f)
+    }
+
+    /// Build the RUC object for a client procedure: the translation the
+    /// compiler-generated procedure-pointer bundler performs in section
+    /// 3.5.2.
+    ///
+    /// # Errors
+    ///
+    /// [`StatusCode::AppError`] if the connection has no live session or
+    /// the procedure id is null.
+    pub fn ruc(&self, conn: ConnId, proc: ProcId) -> RpcResult<Arc<RemoteUpcall>> {
+        if proc.is_null() {
+            return Err(RpcError::status(
+                StatusCode::AppError,
+                "null procedure cannot receive upcalls",
+            ));
+        }
+        let session = self.sessions.get(conn).ok_or_else(|| {
+            RpcError::status(StatusCode::AppError, format!("{conn} has no session"))
+        })?;
+        Ok(RemoteUpcall::new(Arc::clone(session.router()), proc))
+    }
+
+    /// Build a typed upcall target for a client procedure — what a lower
+    /// layer stores at registration time. Local and remote targets are
+    /// indistinguishable to the layer holding them (section 4.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClamServer::ruc`].
+    pub fn upcall_target<A, R>(&self, conn: ConnId, proc: ProcId) -> RpcResult<UpcallTarget<A, R>>
+    where
+        A: Bundle + Clone,
+        R: Bundle + Clone,
+    {
+        Ok(UpcallTarget::remote(self.ruc(conn, proc)?))
+    }
+
+    /// Report a fault to a client's registered error handler from a new
+    /// task (section 4.3). No-op if the client registered no handler.
+    pub fn report_error(self: &Arc<Self>, conn: ConnId, report: ErrorReport) {
+        let Some(session) = self.sessions.get(conn) else {
+            return;
+        };
+        let Some(proc) = session.error_proc() else {
+            return;
+        };
+        let server = Arc::clone(self);
+        // try_spawn: a fault racing server shutdown is dropped, not a
+        // panic.
+        let _ = self.sched.try_spawn("error-report", move || {
+            if let Ok(target) = server.upcall_target::<ErrorReport, ()>(conn, proc) {
+                // "This task will make an upcall and then wait for any
+                // response the client may have."
+                let _ = target.invoke(report);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Connection admission.
+    // ------------------------------------------------------------------
+
+    /// Shut the server down: stop admitting clients, fail outstanding
+    /// upcalls, drop every session, and refuse new tasks. Connected
+    /// clients observe `Disconnected`/closed channels. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        for session in self.sessions.drain_all() {
+            session.mark_dead();
+        }
+        self.pending_pairs.lock().clear();
+        self.sched.shutdown();
+    }
+
+    /// True once [`shutdown`](ClamServer::shutdown) has been called.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Handshake a fresh connection and pair it into a session.
+    fn admit(self: &Arc<Self>, mut channel: Channel) {
+        if self.is_shutting_down() {
+            return; // drop the connection
+        }
+        let Ok(frame) = channel.recv() else { return };
+        let Ok(hello) = clam_xdr::decode::<Hello>(&frame) else {
+            return;
+        };
+        let other = {
+            let mut pending = self.pending_pairs.lock();
+            match pending.remove(&hello.nonce) {
+                Some((role, ch)) if role != hello.role => Some((role, ch)),
+                Some(pair) => {
+                    // Same role twice: protocol error; drop both.
+                    drop(pair);
+                    return;
+                }
+                None => {
+                    pending.insert(hello.nonce, (hello.role, channel));
+                    return;
+                }
+            }
+        };
+        let Some((_, other_ch)) = other else { return };
+        let (rpc_ch, upcall_ch) = match hello.role {
+            ChannelRole::Rpc => (channel, other_ch),
+            ChannelRole::Upcall => (other_ch, channel),
+        };
+        self.open_session(rpc_ch, upcall_ch);
+    }
+
+    fn open_session(self: &Arc<Self>, rpc_ch: Channel, upcall_ch: Channel) {
+        let conn = ConnId(self.next_conn.fetch_add(1, Ordering::Relaxed));
+        let (rpc_writer, mut rpc_reader) = rpc_ch.split();
+        let (up_writer, up_reader) = upcall_ch.split();
+
+        let router = UpcallRouter::new(&self.sched, up_writer, self.config.max_concurrent_upcalls);
+        router.spawn_reply_pump(up_reader);
+
+        let session = Session::new(&self.sched, conn, router, rpc_writer);
+        self.sessions.insert(Arc::clone(&session));
+
+        // The main RPC task: serializes this client's requests in strict
+        // arrival order ("the main task handles RPC requests from
+        // clients", section 4.4) — this is what makes batched calls
+        // execute in the order they were sent (section 3.4).
+        {
+            let session = Arc::clone(&session);
+            let server = Arc::clone(self);
+            let _ = self.sched.try_spawn(&format!("rpc-main-{}", conn.0), move || {
+                while let Some(frame) = session.next_frame() {
+                    Self::process_session_frame(&server, &session, conn, &frame);
+                }
+            });
+        }
+
+        // Read pump (plays the kernel): frames go to the main task's
+        // inbox in strict order — except frames the client marked as
+        // *nested* (calls made from inside an upcall handler whose
+        // triggering upcall is still outstanding, section 4.4: the
+        // client task "informs the server, usually by making an RPC").
+        // The main task may be the blocked upcaller, so nested frames
+        // are serviced immediately in an auxiliary task; everything else
+        // keeps the paper's batched-call ordering.
+        {
+            let session = Arc::clone(&session);
+            let sessions = Arc::clone(&self.sessions);
+            let server = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("clam-rpc-pump-{}", conn.0))
+                .spawn(move || {
+                    while let Ok(frame) = rpc_reader.recv() {
+                        if !session.is_alive() {
+                            break; // server shut the session down
+                        }
+                        if Message::frame_is_nested(&frame) {
+                            let session = Arc::clone(&session);
+                            let server = Arc::clone(&server);
+                            let spawned =
+                                server.sched.clone().try_spawn("rpc-nested", move || {
+                                    Self::process_session_frame(
+                                        &server, &session, conn, &frame,
+                                    );
+                                });
+                            if spawned.is_err() {
+                                break; // scheduler shut down
+                            }
+                        } else {
+                            session.push_inbox(frame);
+                        }
+                    }
+                    session.mark_dead();
+                    sessions.remove(conn);
+                })
+                .expect("failed to spawn rpc read pump");
+        }
+    }
+
+    /// Dispatch one inbound frame for a session and send its replies.
+    fn process_session_frame(
+        server: &Arc<ClamServer>,
+        session: &Arc<Session>,
+        conn: ConnId,
+        frame: &[u8],
+    ) {
+        let Ok(replies) = server.rpc.process_frame(conn, frame) else {
+            session.mark_dead(); // protocol violation
+            return;
+        };
+        for reply in replies {
+            let Ok(out) = Message::Reply(reply).to_frame() else {
+                return;
+            };
+            if session.send_rpc(&out).is_err() {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Server-side client sessions and the session-control service.
+//!
+//! A session is the server's record of one client: its connection id, its
+//! two channels (section 4.4), its upcall router, and its registered
+//! error handler (section 4.3's error reporting).
+
+use crate::ruc::UpcallRouter;
+use clam_net::MsgWriter;
+use clam_rpc::{current_conn, ConnId, ProcId, RpcError, RpcResult, StatusCode};
+use clam_task::{Event, Scheduler};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Builtin service id of the session-control service.
+pub const SESSION_SERVICE_ID: u32 = 2;
+
+clam_xdr::bundle_struct! {
+    /// What the server tells a client's error handler when loaded code
+    /// faults on its behalf (section 4.3).
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct ErrorReport {
+        /// Human-readable fault description (panic payload).
+        pub message: String,
+        /// Method number that was executing.
+        pub method: u32,
+        /// Request id of the faulting call (0 for async calls).
+        pub request_id: u64,
+    }
+}
+
+/// One client's session state inside the server.
+pub struct Session {
+    conn: ConnId,
+    router: Arc<UpcallRouter>,
+    rpc_writer: Mutex<Box<dyn MsgWriter>>,
+    inbox: Mutex<VecDeque<Vec<u8>>>,
+    inbox_event: Event,
+    alive: AtomicBool,
+    error_proc: Mutex<Option<ProcId>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("conn", &self.conn)
+            .field("alive", &self.alive.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    pub(crate) fn new(
+        sched: &Scheduler,
+        conn: ConnId,
+        router: Arc<UpcallRouter>,
+        rpc_writer: Box<dyn MsgWriter>,
+    ) -> Arc<Session> {
+        Arc::new(Session {
+            conn,
+            router,
+            rpc_writer: Mutex::new(rpc_writer),
+            inbox: Mutex::new(VecDeque::new()),
+            inbox_event: Event::new(sched),
+            alive: AtomicBool::new(true),
+            error_proc: Mutex::new(None),
+        })
+    }
+
+    /// The session's connection id.
+    #[must_use]
+    pub fn conn(&self) -> ConnId {
+        self.conn
+    }
+
+    /// The session's upcall router.
+    #[must_use]
+    pub fn router(&self) -> &Arc<UpcallRouter> {
+        &self.router
+    }
+
+    /// Is the client still connected?
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// The client's registered error-handler procedure, if any.
+    #[must_use]
+    pub fn error_proc(&self) -> Option<ProcId> {
+        *self.error_proc.lock()
+    }
+
+    pub(crate) fn set_error_proc(&self, proc: Option<ProcId>) {
+        *self.error_proc.lock() = proc;
+    }
+
+    /// Queue one inbound RPC frame for consumption by
+    /// [`next_frame`](Session::next_frame). The built-in server spawns a
+    /// task per frame instead, but embedders building a strictly
+    /// serialized main-RPC-task loop (the paper's original single-task
+    /// form) drive sessions through this pair.
+    pub fn push_inbox(&self, frame: Vec<u8>) {
+        self.inbox.lock().push_back(frame);
+        self.inbox_event.signal();
+    }
+
+    /// Mark the session dead and wake the main task so it can exit.
+    pub(crate) fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.router.fail_all();
+        self.inbox_event.signal();
+    }
+
+    /// Next inbound frame queued by [`push_inbox`](Session::push_inbox),
+    /// blocking the calling *task*; `None` once the session is dead and
+    /// drained.
+    #[must_use]
+    pub fn next_frame(&self) -> Option<Vec<u8>> {
+        loop {
+            if let Some(frame) = self.inbox.lock().pop_front() {
+                return Some(frame);
+            }
+            if !self.is_alive() {
+                return None;
+            }
+            self.inbox_event.wait();
+        }
+    }
+
+    /// Send a frame on the RPC channel (replies).
+    pub(crate) fn send_rpc(&self, frame: &[u8]) -> RpcResult<()> {
+        self.rpc_writer.lock().send(frame)?;
+        Ok(())
+    }
+}
+
+/// All live sessions, by connection id.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<u64, Arc<Session>>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    pub(crate) fn insert(&self, session: Arc<Session>) {
+        self.sessions.write().insert(session.conn().0, session);
+    }
+
+    pub(crate) fn remove(&self, conn: ConnId) -> Option<Arc<Session>> {
+        self.sessions.write().remove(&conn.0)
+    }
+
+    pub(crate) fn drain_all(&self) -> Vec<Arc<Session>> {
+        self.sessions.write().drain().map(|(_, s)| s).collect()
+    }
+
+    /// Look up a session.
+    #[must_use]
+    pub fn get(&self, conn: ConnId) -> Option<Arc<Session>> {
+        self.sessions.read().get(&conn.0).cloned()
+    }
+
+    /// Number of live sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// True if no client is connected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.read().is_empty()
+    }
+}
+
+clam_rpc::remote_interface! {
+    /// Per-session controls every CLAM client gets.
+    pub interface SessionCtl {
+        proxy SessionCtlProxy;
+        skeleton SessionCtlSkeleton;
+        class SessionCtlClass;
+
+        /// Register the procedure to upcall when loaded code faults on
+        /// this client's behalf (`ProcId::NULL` clears it).
+        fn set_error_handler(proc: ProcId) -> () = 1;
+        /// Liveness probe; returns the connection id.
+        fn ping() -> u64 = 2;
+    }
+}
+
+/// Server-side implementation of [`SessionCtl`]; identifies the calling
+/// client via [`current_conn`].
+#[derive(Debug)]
+pub struct SessionCtlImpl {
+    registry: Arc<SessionRegistry>,
+}
+
+impl SessionCtlImpl {
+    /// Wire to the session registry.
+    #[must_use]
+    pub fn new(registry: Arc<SessionRegistry>) -> SessionCtlImpl {
+        SessionCtlImpl { registry }
+    }
+
+    fn my_session(&self) -> RpcResult<Arc<Session>> {
+        let conn = current_conn()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no calling connection"))?;
+        self.registry
+            .get(conn)
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, format!("{conn} has no session")))
+    }
+}
+
+impl SessionCtl for SessionCtlImpl {
+    fn set_error_handler(&self, proc: ProcId) -> RpcResult<()> {
+        let session = self.my_session()?;
+        session.set_error_proc(if proc.is_null() { None } else { Some(proc) });
+        Ok(())
+    }
+
+    fn ping(&self) -> RpcResult<u64> {
+        Ok(self.my_session()?.conn().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clam_net::pair;
+
+    fn session_rig() -> (Arc<Session>, Scheduler) {
+        let sched = Scheduler::new("session-test");
+        let (a, _b) = pair();
+        let (w, _r) = a.split();
+        let (ua, _ub) = pair();
+        let (uw, _ur) = ua.split();
+        let router = UpcallRouter::new(&sched, uw, 1);
+        let s = Session::new(&sched, ConnId(7), router, w);
+        (s, sched)
+    }
+
+    #[test]
+    fn inbox_delivers_in_order_and_drains_after_death() {
+        let (s, _sched) = session_rig();
+        s.push_inbox(vec![1]);
+        s.push_inbox(vec![2]);
+        assert_eq!(s.next_frame(), Some(vec![1]));
+        assert_eq!(s.next_frame(), Some(vec![2]));
+        s.push_inbox(vec![3]);
+        s.mark_dead();
+        assert_eq!(s.next_frame(), Some(vec![3]), "drain after death");
+        assert_eq!(s.next_frame(), None);
+        assert!(!s.is_alive());
+    }
+
+    #[test]
+    fn error_proc_is_settable_and_clearable() {
+        let (s, _sched) = session_rig();
+        assert_eq!(s.error_proc(), None);
+        s.set_error_proc(Some(ProcId { id: 5 }));
+        assert_eq!(s.error_proc(), Some(ProcId { id: 5 }));
+        s.set_error_proc(None);
+        assert_eq!(s.error_proc(), None);
+    }
+
+    #[test]
+    fn registry_tracks_sessions() {
+        let (s, _sched) = session_rig();
+        let reg = SessionRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert(Arc::clone(&s));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(ConnId(7)).is_some());
+        assert!(reg.get(ConnId(8)).is_none());
+        assert!(reg.remove(ConnId(7)).is_some());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn error_report_bundles() {
+        let r = ErrorReport {
+            message: "divide by zero".into(),
+            method: 3,
+            request_id: 9,
+        };
+        let bytes = clam_xdr::encode(&r).unwrap();
+        assert_eq!(clam_xdr::decode::<ErrorReport>(&bytes).unwrap(), r);
+    }
+}

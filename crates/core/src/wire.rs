@@ -1,0 +1,58 @@
+//! Connection-setup handshake.
+//!
+//! Section 4.4: "CLAM provides separate unix streams for each
+//! communication channel" — one for the client's RPC requests, one for
+//! upcalls — because multiplexing without typed messages would need
+//! extra bookkeeping. A client therefore opens two transport connections
+//! and introduces them with a `Hello` carrying a shared nonce so the
+//! server can pair them into one session.
+
+clam_xdr::bundle_enum! {
+    /// Which channel of the pair a new connection is.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum ChannelRole {
+        /// Carries client → server call batches and their replies.
+        Rpc = 0,
+        /// Carries server → client upcalls and their replies.
+        Upcall = 1,
+    }
+}
+
+impl Default for ChannelRole {
+    fn default() -> Self {
+        ChannelRole::Rpc
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// First frame on every new connection.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct Hello {
+        /// Which channel this connection is.
+        pub role: ChannelRole,
+        /// Random value pairing the two channels of one client.
+        pub nonce: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        let h = Hello {
+            role: ChannelRole::Upcall,
+            nonce: 0xc0ffee,
+        };
+        let bytes = clam_xdr::encode(&h).unwrap();
+        assert_eq!(clam_xdr::decode::<Hello>(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn roles_are_distinct_on_the_wire() {
+        let rpc = clam_xdr::encode(&ChannelRole::Rpc).unwrap();
+        let upc = clam_xdr::encode(&ChannelRole::Upcall).unwrap();
+        assert_ne!(rpc, upc);
+    }
+}

@@ -1,0 +1,41 @@
+//! Dynamic module loading with version control.
+//!
+//! In CLAM, "client processes request new object modules to be dynamically
+//! loaded into the server. These modules are then accessed by clients
+//! using remote procedure calls. Dynamically loaded procedures access
+//! other dynamically loaded procedures using normal procedure calls"
+//! (section 2). The server's object-identifier structure records a class
+//! identifier *and a version number* "used to locate the correct version
+//! of the correct class" (section 3.5.1) — different clients may load
+//! different versions of the same module.
+//!
+//! **Substitution note** (see DESIGN.md): the paper injects 4.3BSD `a.out`
+//! object files into a running server. Stable Rust has no in-process
+//! object loading, so modules here are compiled in but *invisible* to the
+//! server until loaded: an installed [`Module`] sits in the
+//! [`DynamicLoader`]'s registry (the file system of loadable modules);
+//! a client's `load_module` RPC resolves name + version, assigns class
+//! ids, and registers dispatch tables — after which, and only after
+//! which, objects of those classes can be created and called. The
+//! observable protocol is the paper's; only the code-injection vector
+//! differs.
+//!
+//! The [`Loader`] interface is the bootstrap service clients drive;
+//! [`LoaderProxy`] is its client stub. Loaded classes run under the RPC
+//! server's panic guard, so a buggy module faults its call, not the
+//! server (paper section 4.3's error handling).
+
+mod loader;
+mod module;
+mod service;
+mod version;
+
+pub use loader::{DynamicLoader, LoadedClass};
+pub use module::{ClassSpec, Constructor, Module, SimpleModule};
+pub use service::{
+    ClassInfo, LoadReport, Loader, LoaderClass, LoaderImpl, LoaderProxy, LoaderSkeleton,
+    LOADER_SERVICE_ID,
+};
+pub use version::Version;
+
+pub mod testing;

@@ -1,0 +1,144 @@
+//! Loadable modules: the unit a client asks the server to load.
+
+use crate::version::Version;
+use clam_rpc::{ClassDispatch, RpcResult, RpcServer};
+use clam_xdr::Opaque;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Constructs an instance of a loaded class from bundled constructor
+/// arguments (the bytes a client passed to `create_object`).
+pub type Constructor =
+    Arc<dyn Fn(&RpcServer, &Opaque) -> RpcResult<Arc<dyn Any + Send + Sync>> + Send + Sync>;
+
+/// One class a module provides: its name, its method dispatch table, and
+/// its constructor.
+#[derive(Clone)]
+pub struct ClassSpec {
+    name: String,
+    dispatch: Arc<dyn ClassDispatch>,
+    constructor: Constructor,
+}
+
+impl std::fmt::Debug for ClassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassSpec")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClassSpec {
+    /// Describe a class.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        dispatch: Arc<dyn ClassDispatch>,
+        constructor: Constructor,
+    ) -> ClassSpec {
+        ClassSpec {
+            name: name.into(),
+            dispatch,
+            constructor,
+        }
+    }
+
+    /// The class's name within its module.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The class's method dispatch table.
+    #[must_use]
+    pub fn dispatch(&self) -> &Arc<dyn ClassDispatch> {
+        &self.dispatch
+    }
+
+    /// The class's constructor.
+    #[must_use]
+    pub fn constructor(&self) -> &Constructor {
+        &self.constructor
+    }
+}
+
+/// A loadable module: named, versioned, providing classes.
+///
+/// This is the paper's dynamically loaded object file. Implementations
+/// are ordinary Rust types; they become *loadable* by being installed in
+/// a [`DynamicLoader`](crate::DynamicLoader) and *loaded* when a client
+/// asks for them by name and version.
+pub trait Module: Send + Sync {
+    /// The module's name (what clients load by).
+    fn name(&self) -> &str;
+
+    /// The module's version.
+    fn version(&self) -> Version;
+
+    /// The classes this module provides.
+    fn classes(&self) -> Vec<ClassSpec>;
+
+    /// Hook run when the module is loaded into a server. The default
+    /// does nothing; modules may register builtin services, create
+    /// initial objects, and so on.
+    ///
+    /// # Errors
+    ///
+    /// A failing hook aborts the load.
+    fn on_load(&self, server: &RpcServer) -> RpcResult<()> {
+        let _ = server;
+        Ok(())
+    }
+}
+
+/// A [`Module`] assembled from parts — convenient for tests and small
+/// modules that don't warrant a dedicated type.
+pub struct SimpleModule {
+    name: String,
+    version: Version,
+    classes: Vec<ClassSpec>,
+}
+
+impl std::fmt::Debug for SimpleModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimpleModule")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("classes", &self.classes.len())
+            .finish()
+    }
+}
+
+impl SimpleModule {
+    /// Create a module with no classes; add them with
+    /// [`with_class`](SimpleModule::with_class).
+    #[must_use]
+    pub fn new(name: impl Into<String>, version: Version) -> SimpleModule {
+        SimpleModule {
+            name: name.into(),
+            version,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Add a class (builder style).
+    #[must_use]
+    pub fn with_class(mut self, class: ClassSpec) -> SimpleModule {
+        self.classes.push(class);
+        self
+    }
+}
+
+impl Module for SimpleModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn version(&self) -> Version {
+        self.version
+    }
+
+    fn classes(&self) -> Vec<ClassSpec> {
+        self.classes.clone()
+    }
+}

@@ -1,0 +1,173 @@
+//! The loader as an RPC service: how clients drive dynamic loading.
+
+use crate::loader::DynamicLoader;
+use crate::version::Version;
+use clam_rpc::{Handle, RpcError, RpcResult, RpcServer, StatusCode};
+use clam_xdr::Opaque;
+use std::sync::{Arc, Weak};
+
+/// Builtin service id of the loader — the one service every CLAM server
+/// has from birth; everything else arrives through it.
+pub const LOADER_SERVICE_ID: u32 = 1;
+
+clam_xdr::bundle_struct! {
+    /// One class made live by a load.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct ClassInfo {
+        /// Server-wide class identifier.
+        pub class_id: u32,
+        /// Class name within its module.
+        pub class_name: String,
+        /// Module the class came from.
+        pub module: String,
+        /// Version of the providing module.
+        pub version: Version,
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// The result of loading a module.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct LoadReport {
+        /// The loaded module's name.
+        pub module: String,
+        /// The loaded version.
+        pub version: Version,
+        /// The classes now live.
+        pub classes: Vec<ClassInfo>,
+    }
+}
+
+clam_rpc::remote_interface! {
+    /// The dynamic-loading service (paper section 2): load modules,
+    /// locate classes, create objects, unload.
+    pub interface Loader {
+        proxy LoaderProxy;
+        skeleton LoaderSkeleton;
+        class LoaderClass;
+
+        /// Load `module` at `version`, returning the classes made live.
+        fn load_module(module: String, version: Version) -> LoadReport = 1;
+        /// Newest installed version of `module`, or an error if none.
+        fn latest_version(module: String) -> Version = 2;
+        /// Locate a live class id.
+        fn find_class(module: String, class_name: String, version: Version) -> u32 = 3;
+        /// Construct an object of a loaded class; returns its handle.
+        fn create_object(class_id: u32, args: Opaque) -> Handle = 4;
+        /// Unload a module+version.
+        fn unload_module(module: String, version: Version) -> () = 5;
+        /// All live classes.
+        fn list_classes() -> Vec<ClassInfo> = 6;
+    }
+}
+
+/// Server-side implementation of [`Loader`] bridging to a
+/// [`DynamicLoader`].
+///
+/// Holds the server weakly — the server owns its services, so a strong
+/// reference would cycle.
+pub struct LoaderImpl {
+    server: Weak<RpcServer>,
+    loader: Arc<DynamicLoader>,
+}
+
+impl std::fmt::Debug for LoaderImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoaderImpl")
+            .field("loader", &self.loader)
+            .finish()
+    }
+}
+
+impl LoaderImpl {
+    /// Wire a loader to a server and register the service under
+    /// [`LOADER_SERVICE_ID`]. Returns the implementation for direct
+    /// (in-server) use.
+    pub fn attach(server: &Arc<RpcServer>, loader: Arc<DynamicLoader>) -> Arc<LoaderImpl> {
+        let imp = Arc::new(LoaderImpl {
+            server: Arc::downgrade(server),
+            loader,
+        });
+        server.register_service(
+            LOADER_SERVICE_ID,
+            Arc::new(LoaderSkeleton::new(Arc::clone(&imp))),
+        );
+        imp
+    }
+
+    fn server(&self) -> RpcResult<Arc<RpcServer>> {
+        self.server
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "server is gone"))
+    }
+
+    /// The underlying loader (for in-server callers).
+    #[must_use]
+    pub fn loader(&self) -> &Arc<DynamicLoader> {
+        &self.loader
+    }
+}
+
+impl Loader for LoaderImpl {
+    fn load_module(&self, module: String, version: Version) -> RpcResult<LoadReport> {
+        let server = self.server()?;
+        let classes = self.loader.load(&server, &module, version)?;
+        Ok(LoadReport {
+            module,
+            version,
+            classes: classes
+                .into_iter()
+                .map(|c| ClassInfo {
+                    class_id: c.class_id,
+                    class_name: c.class_name,
+                    module: c.module,
+                    version: c.version,
+                })
+                .collect(),
+        })
+    }
+
+    fn latest_version(&self, module: String) -> RpcResult<Version> {
+        self.loader.latest_version(&module).ok_or_else(|| {
+            RpcError::status(
+                StatusCode::NoSuchClass,
+                format!("module {module} is not installed"),
+            )
+        })
+    }
+
+    fn find_class(&self, module: String, class_name: String, version: Version) -> RpcResult<u32> {
+        self.loader
+            .find_class(&module, &class_name, version)
+            .ok_or_else(|| {
+                RpcError::status(
+                    StatusCode::NoSuchClass,
+                    format!("{module}::{class_name} {version} is not loaded"),
+                )
+            })
+    }
+
+    fn create_object(&self, class_id: u32, args: Opaque) -> RpcResult<Handle> {
+        let server = self.server()?;
+        self.loader.create_object(&server, class_id, &args)
+    }
+
+    fn unload_module(&self, module: String, version: Version) -> RpcResult<()> {
+        let server = self.server()?;
+        self.loader.unload(&server, &module, version)
+    }
+
+    fn list_classes(&self) -> RpcResult<Vec<ClassInfo>> {
+        Ok(self
+            .loader
+            .loaded_classes()
+            .into_iter()
+            .map(|c| ClassInfo {
+                class_id: c.class_id,
+                class_name: c.class_name,
+                module: c.module,
+                version: c.version,
+            })
+            .collect())
+    }
+}

@@ -1,0 +1,97 @@
+//! Module/class versions.
+
+use std::fmt;
+
+clam_xdr::bundle_struct! {
+    /// A module version: `major.minor`.
+    ///
+    /// Versions are exact-match at load time (a client asking for 1.2
+    /// gets 1.2 or an error — "different clients could have different
+    /// versions", section 2.1), but [`Version::compatible_with`] exposes
+    /// the conventional same-major rule for callers that want it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+    pub struct Version {
+        /// Incompatible-change counter.
+        pub major: u32,
+        /// Compatible-change counter.
+        pub minor: u32,
+    }
+}
+
+impl Version {
+    /// Construct a version.
+    #[must_use]
+    pub fn new(major: u32, minor: u32) -> Version {
+        Version { major, minor }
+    }
+
+    /// True if an object built against `required` can be served by this
+    /// version: same major, at least the required minor.
+    #[must_use]
+    pub fn compatible_with(&self, required: Version) -> bool {
+        self.major == required.major && self.minor >= required.minor
+    }
+
+    /// Pack into the `u32` stored in the server object table (Figure
+    /// 3.3's version-number field).
+    #[must_use]
+    pub fn as_u32(&self) -> u32 {
+        (self.major << 16) | (self.minor & 0xffff)
+    }
+
+    /// Unpack from the object-table representation.
+    #[must_use]
+    pub fn from_u32(raw: u32) -> Version {
+        Version {
+            major: raw >> 16,
+            minor: raw & 0xffff,
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_major_then_minor() {
+        assert!(Version::new(1, 9) < Version::new(2, 0));
+        assert!(Version::new(1, 1) < Version::new(1, 2));
+        assert_eq!(Version::new(3, 4), Version::new(3, 4));
+    }
+
+    #[test]
+    fn compatibility_is_same_major_at_least_minor() {
+        let v12 = Version::new(1, 2);
+        assert!(v12.compatible_with(Version::new(1, 0)));
+        assert!(v12.compatible_with(Version::new(1, 2)));
+        assert!(!v12.compatible_with(Version::new(1, 3)));
+        assert!(!v12.compatible_with(Version::new(2, 0)));
+        assert!(!v12.compatible_with(Version::new(0, 2)));
+    }
+
+    #[test]
+    fn u32_packing_round_trips() {
+        for v in [
+            Version::new(0, 0),
+            Version::new(1, 2),
+            Version::new(65535, 65535),
+        ] {
+            assert_eq!(Version::from_u32(v.as_u32()), v);
+        }
+    }
+
+    #[test]
+    fn versions_bundle_and_display() {
+        let v = Version::new(2, 7);
+        let bytes = clam_xdr::encode(&v).unwrap();
+        assert_eq!(clam_xdr::decode::<Version>(&bytes).unwrap(), v);
+        assert_eq!(v.to_string(), "2.7");
+    }
+}

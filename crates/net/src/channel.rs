@@ -1,0 +1,183 @@
+//! The duplex message channel and its split reader/writer halves.
+
+use crate::error::NetResult;
+use crossbeam_channel::{Receiver, Sender};
+
+/// The sending half of a channel.
+pub trait MsgWriter: Send {
+    /// Send one message frame. Blocks until the frame is handed to the
+    /// transport; the transports deliver reliably and in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`](crate::NetError::Closed) if the peer
+    /// is gone, or a transport-level error.
+    fn send(&mut self, frame: &[u8]) -> NetResult<()>;
+}
+
+/// The receiving half of a channel.
+pub trait MsgReader: Send {
+    /// Receive the next message frame, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`](crate::NetError::Closed) when the peer
+    /// hangs up, or a transport-level error.
+    fn recv(&mut self) -> NetResult<Vec<u8>>;
+}
+
+/// A duplex, message-framed connection.
+///
+/// Channels are used split: the reader half lives in an I/O pump thread,
+/// the writer half with the sender. The two halves may be used from
+/// different threads concurrently.
+pub struct Channel {
+    writer: Box<dyn MsgWriter>,
+    reader: Box<dyn MsgReader>,
+    label: String,
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Channel {
+    /// Assemble a channel from transport halves. Transport modules use
+    /// this; applications get channels from [`connect`](crate::connect)
+    /// or [`Listener::accept`](crate::Listener::accept).
+    #[must_use]
+    pub fn from_halves(
+        label: impl Into<String>,
+        writer: Box<dyn MsgWriter>,
+        reader: Box<dyn MsgReader>,
+    ) -> Channel {
+        Channel {
+            writer,
+            reader,
+            label: label.into(),
+        }
+    }
+
+    /// A human-readable transport label (for diagnostics).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Split into independently-owned writer and reader halves.
+    #[must_use]
+    pub fn split(self) -> (Box<dyn MsgWriter>, Box<dyn MsgReader>) {
+        (self.writer, self.reader)
+    }
+
+    /// Send on an unsplit channel (convenience for tests and handshakes).
+    ///
+    /// # Errors
+    ///
+    /// See [`MsgWriter::send`].
+    pub fn send(&mut self, frame: &[u8]) -> NetResult<()> {
+        self.writer.send(frame)
+    }
+
+    /// Receive on an unsplit channel (convenience for tests and
+    /// handshakes).
+    ///
+    /// # Errors
+    ///
+    /// See [`MsgReader::recv`].
+    pub fn recv(&mut self) -> NetResult<Vec<u8>> {
+        self.reader.recv()
+    }
+}
+
+// ----------------------------------------------------------------------
+// In-memory halves shared by the in-process transport and `pair()`.
+// ----------------------------------------------------------------------
+
+pub(crate) struct QueueWriter {
+    pub(crate) tx: Sender<Vec<u8>>,
+}
+
+impl MsgWriter for QueueWriter {
+    fn send(&mut self, frame: &[u8]) -> NetResult<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| crate::NetError::Closed)
+    }
+}
+
+pub(crate) struct QueueReader {
+    pub(crate) rx: Receiver<Vec<u8>>,
+}
+
+impl MsgReader for QueueReader {
+    fn recv(&mut self) -> NetResult<Vec<u8>> {
+        self.rx.recv().map_err(|_| crate::NetError::Closed)
+    }
+}
+
+/// Create a connected pair of in-memory channels (no listener needed).
+///
+/// The first element is conventionally the "client" end. Useful for tests
+/// and for the local-upcall fast path in benches.
+#[must_use]
+pub fn pair() -> (Channel, Channel) {
+    let (a_tx, a_rx) = crossbeam_channel::unbounded();
+    let (b_tx, b_rx) = crossbeam_channel::unbounded();
+    let left = Channel::from_halves(
+        "inmem-left",
+        Box::new(QueueWriter { tx: a_tx }),
+        Box::new(QueueReader { rx: b_rx }),
+    );
+    let right = Channel::from_halves(
+        "inmem-right",
+        Box::new(QueueWriter { tx: b_tx }),
+        Box::new(QueueReader { rx: a_rx }),
+    );
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_duplex_and_ordered() {
+        let (mut a, mut b) = pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        b.send(b"reply").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap(), b"two");
+        assert_eq!(a.recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn dropping_one_end_closes_the_other() {
+        let (a, mut b) = pair();
+        drop(a);
+        assert!(b.recv().unwrap_err().is_closed());
+        assert!(b.send(b"x").unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn split_halves_work_from_threads() {
+        let (a, b) = pair();
+        let (mut atx, _arx) = a.split();
+        let (_btx, mut brx) = b.split();
+        let t = std::thread::spawn(move || brx.recv().unwrap());
+        atx.send(b"cross-thread").unwrap();
+        assert_eq!(t.join().unwrap(), b"cross-thread");
+    }
+
+    #[test]
+    fn debug_shows_label() {
+        let (a, _b) = pair();
+        assert!(format!("{a:?}").contains("inmem-left"));
+        assert_eq!(a.label(), "inmem-left");
+    }
+}

@@ -1,0 +1,103 @@
+//! Endpoint addressing across all transports.
+
+use crate::wan::WanConfig;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where a server listens and clients connect.
+///
+/// The four variants are the four placements measured in the paper's
+/// Figure 5.1: same address space (`InProc`), same machine over a
+/// Unix-domain connection (`Unix`), same machine over TCP (`Tcp`), and
+/// different machines (`Wan`, simulated as TCP plus delivery latency).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Endpoint {
+    /// Both ends inside one process, connected by in-memory queues.
+    InProc(String),
+    /// A Unix-domain stream socket at this path.
+    Unix(PathBuf),
+    /// A TCP socket; `"host:port"`, port 0 picks a free port.
+    Tcp(String),
+    /// TCP plus simulated wide-area delivery latency.
+    Wan {
+        /// The underlying TCP address.
+        addr: String,
+        /// Latency model applied to every delivered frame.
+        config: WanConfig,
+    },
+}
+
+impl Endpoint {
+    /// Shorthand for an in-process endpoint.
+    #[must_use]
+    pub fn in_proc(name: impl Into<String>) -> Endpoint {
+        Endpoint::InProc(name.into())
+    }
+
+    /// Shorthand for a Unix-domain endpoint.
+    #[must_use]
+    pub fn unix(path: impl Into<PathBuf>) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// Shorthand for a TCP endpoint.
+    #[must_use]
+    pub fn tcp(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Tcp(addr.into())
+    }
+
+    /// Shorthand for a simulated-WAN endpoint with the default latency
+    /// model.
+    #[must_use]
+    pub fn wan(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Wan {
+            addr: addr.into(),
+            config: WanConfig::default(),
+        }
+    }
+
+    /// A short transport tag: `"inproc"`, `"unix"`, `"tcp"`, or `"wan"`.
+    #[must_use]
+    pub fn transport_name(&self) -> &'static str {
+        match self {
+            Endpoint::InProc(_) => "inproc",
+            Endpoint::Unix(_) => "unix",
+            Endpoint::Tcp(_) => "tcp",
+            Endpoint::Wan { .. } => "wan",
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::InProc(name) => write!(f, "inproc://{name}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Wan { addr, config } => {
+                write!(f, "wan://{addr}?latency={:?}", config.one_way_latency)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_tags() {
+        assert_eq!(Endpoint::in_proc("x").transport_name(), "inproc");
+        assert_eq!(Endpoint::unix("/tmp/s").transport_name(), "unix");
+        assert_eq!(Endpoint::tcp("127.0.0.1:0").transport_name(), "tcp");
+        assert_eq!(Endpoint::wan("127.0.0.1:0").transport_name(), "wan");
+    }
+
+    #[test]
+    fn display_is_url_like() {
+        assert_eq!(Endpoint::in_proc("x").to_string(), "inproc://x");
+        assert_eq!(Endpoint::tcp("h:1").to_string(), "tcp://h:1");
+        assert!(Endpoint::wan("h:1").to_string().starts_with("wan://h:1"));
+    }
+}

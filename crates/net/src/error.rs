@@ -1,0 +1,111 @@
+//! Error type for the transport layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for transport operations.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// An error raised by a transport operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The peer closed the connection (or the listener was shut down).
+    Closed,
+    /// A frame exceeded [`MAX_FRAME_LEN`](crate::MAX_FRAME_LEN).
+    FrameTooLarge {
+        /// The offending frame length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// No in-process listener is registered under this name.
+    UnknownInProcName(String),
+    /// An in-process listener with this name already exists.
+    DuplicateInProcName(String),
+    /// An operating-system I/O error.
+    Io(io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds maximum {max}")
+            }
+            NetError::UnknownInProcName(name) => {
+                write!(f, "no in-process listener named {name:?}")
+            }
+            NetError::DuplicateInProcName(name) => {
+                write!(f, "in-process listener {name:?} already exists")
+            }
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        // A remote hangup shows up as one of several io error kinds;
+        // normalize them so callers match on Closed only.
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => NetError::Closed,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+impl NetError {
+    /// True if the error means the peer is simply gone (normal teardown).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        matches!(self, NetError::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hangup_kinds_normalize_to_closed() {
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::BrokenPipe,
+        ] {
+            let e: NetError = io::Error::new(kind, "x").into();
+            assert!(e.is_closed(), "{kind:?} should normalize to Closed");
+        }
+        let e: NetError = io::Error::new(io::ErrorKind::PermissionDenied, "x").into();
+        assert!(!e.is_closed());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::FrameTooLarge { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+        assert!(!format!("{e:?}").is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<NetError>();
+    }
+}

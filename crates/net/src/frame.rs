@@ -1,0 +1,124 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Every message travels as a 4-byte big-endian length followed by the
+//! payload. The stream transports (Unix domain, TCP) guarantee order and
+//! reliability, which is all the paper's RPC protocol requires of its
+//! "underlying communication medium" (section 3.4).
+
+use crate::error::{NetError, NetResult};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame length. Large enough for any batched call
+/// message in this system, small enough to stop a corrupt length prefix
+/// from allocating gigabytes.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Write one frame to `w` and flush it.
+///
+/// # Errors
+///
+/// Returns [`NetError::FrameTooLarge`] for oversized payloads or the
+/// underlying I/O error (peer hangups normalize to [`NetError::Closed`]).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> NetResult<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge {
+            len: payload.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits in u32");
+    // One write for the common small frame keeps Unix-domain round trips
+    // to a single syscall each way.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from `r`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Closed`] on a clean hangup at a frame boundary,
+/// [`NetError::FrameTooLarge`] for corrupt length prefixes, or the
+/// underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> NetResult<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xab; 1000]).unwrap();
+
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"first");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap(), vec![0xab; 1000]);
+        assert!(read_frame(&mut cur).unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn eof_at_frame_boundary_is_closed() {
+        let mut cur = Cursor::new(Vec::new());
+        assert!(read_frame(&mut cur).unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn truncated_payload_is_closed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"short");
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur).unwrap_err(),
+            NetError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_write_is_rejected_without_touching_the_stream() {
+        struct NoWrite;
+        impl Write for NoWrite {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                panic!("must not write");
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            write_frame(&mut NoWrite, &huge).unwrap_err(),
+            NetError::FrameTooLarge { .. }
+        ));
+    }
+}

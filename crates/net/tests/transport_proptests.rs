@@ -1,0 +1,62 @@
+//! Property tests: arbitrary frame sequences survive each transport
+//! intact and in order.
+
+use clam_net::{connect, listen, pair, Endpoint};
+use proptest::prelude::*;
+
+fn arb_frames() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..512),
+        1..16,
+    )
+}
+
+fn roundtrip_over(mut a: clam_net::Channel, mut b: clam_net::Channel, frames: &[Vec<u8>]) {
+    // Send everything one way, then everything back, checking order and
+    // content both directions.
+    for f in frames {
+        a.send(f).unwrap();
+    }
+    for f in frames {
+        assert_eq!(&b.recv().unwrap(), f);
+    }
+    for f in frames.iter().rev() {
+        b.send(f).unwrap();
+    }
+    for f in frames.iter().rev() {
+        assert_eq!(&a.recv().unwrap(), f);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn inmem_pair_preserves_frames(frames in arb_frames()) {
+        let (a, b) = pair();
+        roundtrip_over(a, b, &frames);
+    }
+
+    #[test]
+    fn unix_preserves_frames(frames in arb_frames()) {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "clam-prop-{}-{n}.sock",
+            std::process::id()
+        ));
+        let l = listen(&Endpoint::unix(&path)).unwrap();
+        let a = connect(&l.endpoint()).unwrap();
+        let b = l.accept().unwrap();
+        roundtrip_over(a, b, &frames);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tcp_preserves_frames(frames in arb_frames()) {
+        let l = listen(&Endpoint::tcp("127.0.0.1:0")).unwrap();
+        let a = connect(&l.endpoint()).unwrap();
+        let b = l.accept().unwrap();
+        roundtrip_over(a, b, &frames);
+    }
+}

@@ -1,0 +1,544 @@
+//! The client-side call runtime: request/reply matching and call batching.
+//!
+//! Section 3.4: "when no return values are needed, the remote call can be
+//! delayed, and put in a batch with other calls … Batching reduces the
+//! amount of interprocess communication, and introduces asynchrony into
+//! the RPC model. Our underlying communication medium guarantees
+//! reliable, in-order delivery of messages, so batched calls will arrive
+//! in the correct order. To force synchronization, the client program can
+//! either call a procedure that returns a value, or call a special
+//! synchronization procedure, which flushes the current batch."
+//!
+//! [`Caller::call`] is the value-returning form (it flushes and waits);
+//! [`Caller::call_async`] is the batched form; [`Caller::flush`] is the
+//! special synchronization procedure.
+
+use crate::error::{RpcError, RpcResult, StatusCode};
+use crate::message::{Call, Message, Reply, Target};
+use clam_net::{MsgReader, MsgWriter};
+use clam_task::{Event, Scheduler};
+use clam_xdr::Opaque;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// True while this thread is executing an upcall handler whose
+    /// triggering upcall is still outstanding.
+    static NESTED_CONTEXT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` in *nested-call context*: synchronous calls made inside it are
+/// framed as [`Message::NestedCallBatch`], which servers service
+/// immediately instead of queuing behind their (possibly blocked) main
+/// RPC task. The client runtime wraps upcall handlers in this; spawning a
+/// task from inside a handler escapes the context — calls from such tasks
+/// may deadlock behind the outstanding upcall and are unsupported.
+pub fn nested_call_scope<R>(f: impl FnOnce() -> R) -> R {
+    let previous = NESTED_CONTEXT.with(|c| c.replace(true));
+    let result = f();
+    NESTED_CONTEXT.with(|c| c.set(previous));
+    result
+}
+
+/// Is this thread currently inside [`nested_call_scope`]?
+#[must_use]
+pub fn in_nested_context() -> bool {
+    NESTED_CONTEXT.with(std::cell::Cell::get)
+}
+
+/// Tuning knobs for the batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallerConfig {
+    /// Flush automatically once this many async calls are batched.
+    pub max_batch_calls: usize,
+    /// Flush automatically once the batched argument bytes exceed this.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for CallerConfig {
+    fn default() -> Self {
+        CallerConfig {
+            max_batch_calls: 64,
+            max_batch_bytes: 64 * 1024,
+        }
+    }
+}
+
+struct ReplyWait {
+    event: Event,
+    slot: Mutex<Option<RpcResult<Opaque>>>,
+}
+
+struct Outbound {
+    writer: Box<dyn MsgWriter>,
+    batch: Vec<Call>,
+    batch_bytes: usize,
+    batches_sent: u64,
+    calls_sent: u64,
+}
+
+/// The client end of one RPC channel.
+///
+/// `Caller` is used through an `Arc`: the reply pump holds one clone and
+/// application stubs another. Calls may be issued from tasks of the
+/// scheduler passed to [`Caller::new`] (the task blocks, others run) or
+/// from plain threads (the thread blocks).
+pub struct Caller {
+    sched: Scheduler,
+    out: Mutex<Outbound>,
+    pending: Mutex<HashMap<u64, Arc<ReplyWait>>>,
+    next_request: AtomicU64,
+    closed: AtomicBool,
+    config: CallerConfig,
+}
+
+impl std::fmt::Debug for Caller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Caller")
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Caller {
+    /// Create a caller writing to `writer`; wire a reply pump (see
+    /// [`Caller::pump_replies`]) to the matching reader.
+    #[must_use]
+    pub fn new(sched: &Scheduler, writer: Box<dyn MsgWriter>, config: CallerConfig) -> Arc<Caller> {
+        Arc::new(Caller {
+            sched: sched.clone(),
+            out: Mutex::new(Outbound {
+                writer,
+                batch: Vec::new(),
+                batch_bytes: 0,
+                batches_sent: 0,
+                calls_sent: 0,
+            }),
+            pending: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+            config,
+        })
+    }
+
+    /// Synchronous call: flushes any pending batch (ahead of this call,
+    /// preserving order), sends, and blocks until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, [`RpcError::Disconnected`] if the connection
+    /// drops while waiting, or [`RpcError::Status`] for remote failures.
+    pub fn call(&self, target: Target, method: u32, args: Opaque) -> RpcResult<Opaque> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RpcError::Disconnected);
+        }
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let wait = Arc::new(ReplyWait {
+            event: Event::new(&self.sched),
+            slot: Mutex::new(None),
+        });
+        self.pending
+            .lock()
+            .insert(request_id, Arc::clone(&wait));
+
+        let nested = in_nested_context();
+        let send_result = {
+            let mut out = self.out.lock();
+            if nested {
+                // Flush whatever the application batched first (its own
+                // ordinary frame), then send the nested call alone in a
+                // NestedCallBatch so only IT jumps the server's queue.
+                Self::flush_locked(&mut out).and_then(|()| {
+                    out.calls_sent += 1;
+                    out.batches_sent += 1;
+                    let frame = Message::NestedCallBatch(vec![Call {
+                        request_id,
+                        target,
+                        method,
+                        args,
+                    }])
+                    .to_frame()?;
+                    out.writer.send(&frame)?;
+                    Ok(())
+                })
+            } else {
+                out.batch.push(Call {
+                    request_id,
+                    target,
+                    method,
+                    args,
+                });
+                Self::flush_locked(&mut out)
+            }
+        };
+        if let Err(e) = send_result {
+            self.pending.lock().remove(&request_id);
+            return Err(e);
+        }
+
+        wait.event.wait();
+        let outcome = wait.slot.lock().take();
+        outcome.unwrap_or(Err(RpcError::Disconnected))
+    }
+
+    /// Asynchronous call: no reply expected; the call joins the current
+    /// batch and is sent when the batch fills, a sync call happens, or
+    /// [`flush`](Caller::flush) is invoked.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors if an automatic flush fires.
+    pub fn call_async(&self, target: Target, method: u32, args: Opaque) -> RpcResult<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RpcError::Disconnected);
+        }
+        let mut out = self.out.lock();
+        out.batch_bytes += args.len();
+        out.batch.push(Call {
+            request_id: 0,
+            target,
+            method,
+            args,
+        });
+        if out.batch.len() >= self.config.max_batch_calls
+            || out.batch_bytes >= self.config.max_batch_bytes
+        {
+            Self::flush_locked(&mut out)?;
+        }
+        Ok(())
+    }
+
+    /// The special synchronization procedure: push the current batch out.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn flush(&self) -> RpcResult<()> {
+        Self::flush_locked(&mut self.out.lock())
+    }
+
+    fn flush_locked(out: &mut Outbound) -> RpcResult<()> {
+        if out.batch.is_empty() {
+            return Ok(());
+        }
+        let calls = std::mem::take(&mut out.batch);
+        out.batch_bytes = 0;
+        out.calls_sent += calls.len() as u64;
+        out.batches_sent += 1;
+        let frame = Message::CallBatch(calls).to_frame()?;
+        out.writer.send(&frame)?;
+        Ok(())
+    }
+
+    /// (batches sent, calls sent) so far — the batching ablation reads
+    /// this to verify how much IPC batching saved.
+    #[must_use]
+    pub fn send_stats(&self) -> (u64, u64) {
+        let out = self.out.lock();
+        (out.batches_sent, out.calls_sent)
+    }
+
+    /// Number of calls awaiting replies.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Deliver a reply received from the transport. Returns `false` for
+    /// replies that match no outstanding call (a protocol anomaly the
+    /// pump may log).
+    pub fn handle_reply(&self, reply: Reply) -> bool {
+        let Some(wait) = self.pending.lock().remove(&reply.request_id) else {
+            return false;
+        };
+        let outcome = if reply.status == StatusCode::Ok {
+            Ok(reply.results)
+        } else {
+            Err(RpcError::Status {
+                code: reply.status,
+                message: reply.detail,
+            })
+        };
+        *wait.slot.lock() = Some(outcome);
+        wait.event.signal();
+        true
+    }
+
+    /// Fail every outstanding call (connection teardown).
+    pub fn fail_all(&self) {
+        self.closed.store(true, Ordering::Release);
+        let drained: Vec<_> = self.pending.lock().drain().collect();
+        for (_, wait) in drained {
+            *wait.slot.lock() = Some(Err(RpcError::Disconnected));
+            wait.event.signal();
+        }
+    }
+
+    /// Run the reply pump on the calling thread until the connection
+    /// closes: every inbound frame must be a `Reply` and is routed to its
+    /// waiting call. On exit all outstanding calls fail.
+    ///
+    /// Spawn this on a dedicated OS thread (it plays the kernel's role of
+    /// delivering I/O, so it must not be a task of the scheduler).
+    pub fn pump_replies(self: &Arc<Self>, mut reader: Box<dyn MsgReader>) {
+        loop {
+            let frame = match reader.recv() {
+                Ok(f) => f,
+                Err(_) => break,
+            };
+            match Message::from_frame(&frame) {
+                Ok(Message::Reply(reply)) => {
+                    self.handle_reply(reply);
+                }
+                Ok(_) | Err(_) => break, // protocol violation: drop link
+            }
+        }
+        self.fail_all();
+    }
+
+    /// Spawn the reply pump on a new OS thread.
+    ///
+    /// The pump holds the caller weakly: dropping every caller handle
+    /// closes the connection (the writer is dropped), which in turn ends
+    /// the pump — no reference cycle keeps the link alive.
+    pub fn spawn_reply_pump(
+        self: &Arc<Self>,
+        mut reader: Box<dyn MsgReader>,
+    ) -> std::thread::JoinHandle<()> {
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name("clam-rpc-reply-pump".to_string())
+            .spawn(move || {
+                loop {
+                    let frame = match reader.recv() {
+                        Ok(f) => f,
+                        Err(_) => break,
+                    };
+                    let Some(caller) = weak.upgrade() else { break };
+                    match Message::from_frame(&frame) {
+                        Ok(Message::Reply(reply)) => {
+                            caller.handle_reply(reply);
+                        }
+                        Ok(_) | Err(_) => break,
+                    }
+                }
+                if let Some(caller) = weak.upgrade() {
+                    caller.fail_all();
+                }
+            })
+            .expect("failed to spawn reply pump")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clam_net::pair;
+    use clam_xdr::Opaque;
+
+    fn test_caller() -> (Arc<Caller>, clam_net::Channel) {
+        let (client, server) = pair();
+        let sched = Scheduler::new("caller-test");
+        let (w, r) = client.split();
+        let caller = Caller::new(&sched, w, CallerConfig::default());
+        caller.spawn_reply_pump(r);
+        (caller, server)
+    }
+
+    fn serve_echo(mut server: clam_net::Channel) -> std::thread::JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut frames = 0u64;
+            while let Ok(frame) = server.recv() {
+                frames += 1;
+                let Ok(Message::CallBatch(calls)) = Message::from_frame(&frame) else {
+                    panic!("unexpected message");
+                };
+                for call in calls {
+                    if call.request_id != 0 {
+                        let reply = Message::Reply(Reply {
+                            request_id: call.request_id,
+                            status: StatusCode::Ok,
+                            detail: String::new(),
+                            results: call.args.clone(),
+                        });
+                        server.send(&reply.to_frame().unwrap()).unwrap();
+                    }
+                }
+            }
+            frames
+        })
+    }
+
+    #[test]
+    fn sync_call_round_trips() {
+        let (caller, server) = test_caller();
+        let srv = serve_echo(server);
+        let out = caller
+            .call(Target::Builtin(1), 2, Opaque::from(vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(out.as_slice(), &[1, 2, 3]);
+        assert_eq!(caller.outstanding(), 0);
+        drop(caller);
+        let _ = srv.join();
+    }
+
+    #[test]
+    fn async_calls_batch_until_sync_call() {
+        let (caller, server) = test_caller();
+        let srv = serve_echo(server);
+        for i in 0..10u8 {
+            caller
+                .call_async(Target::Builtin(1), 0, Opaque::from(vec![i]))
+                .unwrap();
+        }
+        let (batches, calls) = caller.send_stats();
+        assert_eq!((batches, calls), (0, 0), "async calls are held back");
+        // The sync call flushes everything in one frame, in order.
+        caller
+            .call(Target::Builtin(1), 1, Opaque::new())
+            .unwrap();
+        let (batches, calls) = caller.send_stats();
+        assert_eq!(batches, 1, "one frame carried all eleven calls");
+        assert_eq!(calls, 11);
+        drop(caller);
+        assert_eq!(srv.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn explicit_flush_sends_the_batch() {
+        let (caller, server) = test_caller();
+        let srv = serve_echo(server);
+        caller
+            .call_async(Target::Builtin(1), 0, Opaque::new())
+            .unwrap();
+        caller.flush().unwrap();
+        let (batches, calls) = caller.send_stats();
+        assert_eq!((batches, calls), (1, 1));
+        drop(caller);
+        let _ = srv.join();
+    }
+
+    #[test]
+    fn batch_flushes_automatically_at_capacity() {
+        let (client, server) = pair();
+        let sched = Scheduler::new("cap");
+        let (w, _r) = client.split();
+        let caller = Caller::new(
+            &sched,
+            w,
+            CallerConfig {
+                max_batch_calls: 4,
+                max_batch_bytes: usize::MAX,
+            },
+        );
+        for _ in 0..4 {
+            caller
+                .call_async(Target::Builtin(1), 0, Opaque::new())
+                .unwrap();
+        }
+        let (batches, _) = caller.send_stats();
+        assert_eq!(batches, 1, "hit max_batch_calls");
+        drop(server);
+    }
+
+    #[test]
+    fn remote_error_status_propagates() {
+        let (client, server) = pair();
+        let sched = Scheduler::new("err");
+        let (w, r) = client.split();
+        let caller = Caller::new(&sched, w, CallerConfig::default());
+        caller.spawn_reply_pump(r);
+        let mut server = server;
+        let srv = std::thread::spawn(move || {
+            let frame = server.recv().unwrap();
+            let Ok(Message::CallBatch(calls)) = Message::from_frame(&frame) else {
+                panic!()
+            };
+            let reply = Message::Reply(Reply {
+                request_id: calls[0].request_id,
+                status: StatusCode::StaleHandle,
+                detail: "gone".to_string(),
+                results: Opaque::new(),
+            });
+            server.send(&reply.to_frame().unwrap()).unwrap();
+            server
+        });
+        let err = caller
+            .call(Target::Builtin(1), 0, Opaque::new())
+            .unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
+        drop(srv.join().unwrap());
+    }
+
+    #[test]
+    fn disconnect_fails_outstanding_calls() {
+        let (client, server) = pair();
+        let sched = Scheduler::new("disc");
+        let (w, r) = client.split();
+        let caller = Caller::new(&sched, w, CallerConfig::default());
+        caller.spawn_reply_pump(r);
+        let mut server = server;
+        let t = std::thread::spawn(move || {
+            let _ = server.recv(); // swallow the call, then hang up
+            drop(server);
+        });
+        let err = caller
+            .call(Target::Builtin(1), 0, Opaque::new())
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Disconnected));
+        t.join().unwrap();
+        // Further calls fail fast.
+        assert!(matches!(
+            caller.call(Target::Builtin(1), 0, Opaque::new()),
+            Err(RpcError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn unmatched_reply_is_reported() {
+        let (client, _server) = pair();
+        let sched = Scheduler::new("um");
+        let (w, _r) = client.split();
+        let caller = Caller::new(&sched, w, CallerConfig::default());
+        assert!(!caller.handle_reply(Reply {
+            request_id: 42,
+            status: StatusCode::Ok,
+            detail: String::new(),
+            results: Opaque::new(),
+        }));
+    }
+
+    #[test]
+    fn calls_from_tasks_block_the_task_not_the_scheduler() {
+        let (client, server) = pair();
+        let sched = Scheduler::new("task-call");
+        let (w, r) = client.split();
+        let caller = Caller::new(&sched, w, CallerConfig::default());
+        caller.spawn_reply_pump(r);
+        let srv = serve_echo(server);
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let c = Arc::clone(&caller);
+        let l = Arc::clone(&log);
+        let h1 = sched.spawn("rpc-task", move || {
+            l.lock().push("call-start");
+            let out = c.call(Target::Builtin(1), 0, Opaque::from(vec![7])).unwrap();
+            assert_eq!(out.as_slice(), &[7]);
+            l.lock().push("call-done");
+        });
+        let l = Arc::clone(&log);
+        let h2 = sched.spawn("other-task", move || {
+            l.lock().push("other-ran");
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let log = log.lock();
+        // While the RPC task waited, the other task got the processor.
+        assert_eq!(*log, vec!["call-start", "other-ran", "call-done"]);
+        drop(caller);
+        let _ = srv.join();
+    }
+}

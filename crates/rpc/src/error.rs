@@ -1,0 +1,152 @@
+//! Error and status types for the RPC layer.
+
+use clam_net::NetError;
+use clam_xdr::XdrError;
+use std::fmt;
+
+/// Result alias for RPC operations.
+pub type RpcResult<T> = Result<T, RpcError>;
+
+clam_xdr::bundle_enum! {
+    /// Wire status of a completed call (the reply's verdict).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum StatusCode {
+        /// The call completed; results follow.
+        Ok = 0,
+        /// No builtin service with the requested id.
+        NoSuchService = 1,
+        /// The target object's class has no such method.
+        NoSuchMethod = 2,
+        /// The handle's tag did not match — a stale or forged capability.
+        StaleHandle = 3,
+        /// No object with the handle's identifier.
+        NoSuchObject = 4,
+        /// The argument bytes did not unbundle.
+        BadArgs = 5,
+        /// The serving code faulted (caught panic in a loaded class).
+        Fault = 6,
+        /// The requested class/version is not loaded in the server.
+        NoSuchClass = 7,
+        /// The server refused a concurrent upcall (section 4.4 limit).
+        UpcallLimit = 8,
+        /// Catch-all application error raised by a service.
+        AppError = 9,
+    }
+}
+
+/// An error raised by an RPC operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RpcError {
+    /// The transport failed or the peer disconnected.
+    Net(NetError),
+    /// Bundling or unbundling failed.
+    Xdr(XdrError),
+    /// The remote side reported a non-`Ok` status.
+    Status {
+        /// The wire status code.
+        code: StatusCode,
+        /// Human-readable detail from the remote side.
+        message: String,
+    },
+    /// The connection went away while a call was outstanding.
+    Disconnected,
+    /// The peer violated the message protocol.
+    Protocol(String),
+}
+
+impl RpcError {
+    /// Construct a status error.
+    #[must_use]
+    pub fn status(code: StatusCode, message: impl Into<String>) -> RpcError {
+        RpcError::Status {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The status code, if this is a remote status error.
+    #[must_use]
+    pub fn status_code(&self) -> Option<StatusCode> {
+        match self {
+            RpcError::Status { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Net(e) => write!(f, "transport error: {e}"),
+            RpcError::Xdr(e) => write!(f, "bundling error: {e}"),
+            RpcError::Status { code, message } => {
+                write!(f, "remote status {code:?}: {message}")
+            }
+            RpcError::Disconnected => write!(f, "connection lost with calls outstanding"),
+            RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Net(e) => Some(e),
+            RpcError::Xdr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for RpcError {
+    fn from(e: NetError) -> Self {
+        RpcError::Net(e)
+    }
+}
+
+impl From<XdrError> for RpcError {
+    fn from(e: XdrError) -> Self {
+        RpcError::Xdr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip_on_the_wire() {
+        for code in [
+            StatusCode::Ok,
+            StatusCode::StaleHandle,
+            StatusCode::Fault,
+            StatusCode::UpcallLimit,
+        ] {
+            let bytes = clam_xdr::encode(&code).unwrap();
+            assert_eq!(clam_xdr::decode::<StatusCode>(&bytes).unwrap(), code);
+        }
+    }
+
+    #[test]
+    fn status_error_exposes_its_code() {
+        let e = RpcError::status(StatusCode::StaleHandle, "tag mismatch");
+        assert_eq!(e.status_code(), Some(StatusCode::StaleHandle));
+        assert!(e.to_string().contains("tag mismatch"));
+        assert_eq!(RpcError::Disconnected.status_code(), None);
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = RpcError::from(XdrError::InvalidUtf8);
+        assert!(e.source().is_some());
+        assert!(RpcError::Protocol("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<RpcError>();
+    }
+}

@@ -1,0 +1,316 @@
+//! Handles and the server object table (paper section 3.5.1, Figure 3.3).
+//!
+//! "Remote operations on objects are achieved by converting a pointer to
+//! an object into a *handle* when passing it to a client. A handle is a
+//! capability for an object. The handle contains an object identifier and
+//! a *tag*, an arbitrary bit pattern for checking the validity of the
+//! handle." The server-side entry records the class identifier, version
+//! number, tag, and the object itself; the tag in an incoming handle is
+//! compared before the object is touched.
+
+use crate::error::{RpcError, RpcResult, StatusCode};
+use rand::RngCore;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+clam_xdr::bundle_struct! {
+    /// A capability for a server object: identifier plus validity tag.
+    ///
+    /// The nil handle (`object_id == 0`) stands for the paper's nil
+    /// object pointer and is accepted without table lookup.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+    pub struct Handle {
+        /// Identifies the object inside the server.
+        pub object_id: u64,
+        /// Arbitrary bit pattern checked against the table entry.
+        pub tag: u64,
+    }
+}
+
+impl Handle {
+    /// The nil handle (the paper's specially-handled nil pointer).
+    pub const NIL: Handle = Handle {
+        object_id: 0,
+        tag: 0,
+    };
+
+    /// True for the nil handle.
+    #[must_use]
+    pub fn is_nil(&self) -> bool {
+        self.object_id == 0
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// Identifier of a client procedure registered for upcalls.
+    ///
+    /// When a client bundles a procedure pointer into the server (section
+    /// 3.5.2) what actually travels is this identifier; the server wraps
+    /// it in a Remote Upcall object. `0` is reserved for "no procedure".
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+    pub struct ProcId {
+        /// Client-side registration number.
+        pub id: u64,
+    }
+}
+
+impl ProcId {
+    /// The null procedure (no upcall registered).
+    pub const NULL: ProcId = ProcId { id: 0 };
+
+    /// True for the null procedure.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        self.id == 0
+    }
+}
+
+/// A server-side object table entry: Figure 3.3's object identifier
+/// structure (class identifier, version number, tag, object pointer).
+pub struct ObjectEntry {
+    class_id: u32,
+    version: u32,
+    tag: u64,
+    object: Arc<dyn Any + Send + Sync>,
+}
+
+impl std::fmt::Debug for ObjectEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectEntry")
+            .field("class_id", &self.class_id)
+            .field("version", &self.version)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObjectEntry {
+    /// Class of the stored object (drives method dispatch).
+    #[must_use]
+    pub fn class_id(&self) -> u32 {
+        self.class_id
+    }
+
+    /// Version of the class the object was created from.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The stored object.
+    #[must_use]
+    pub fn object(&self) -> &Arc<dyn Any + Send + Sync> {
+        &self.object
+    }
+}
+
+/// The server's table of live objects addressable by handle.
+#[derive(Debug)]
+pub struct ObjectTable {
+    entries: HashMap<u64, ObjectEntry>,
+    next_id: u64,
+}
+
+impl Default for ObjectTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectTable {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new() -> ObjectTable {
+        ObjectTable {
+            entries: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Register an object, returning the handle to hand to a client.
+    ///
+    /// The paper's assumption 3 holds by construction: a handle exists
+    /// only after the object was registered (passed out of the server).
+    pub fn register(
+        &mut self,
+        class_id: u32,
+        version: u32,
+        object: Arc<dyn Any + Send + Sync>,
+    ) -> Handle {
+        let object_id = self.next_id;
+        self.next_id += 1;
+        let mut tag = rand::thread_rng().next_u64();
+        if tag == 0 {
+            tag = 1; // 0 is reserved for the nil handle
+        }
+        self.entries.insert(
+            object_id,
+            ObjectEntry {
+                class_id,
+                version,
+                tag,
+                object,
+            },
+        );
+        Handle { object_id, tag }
+    }
+
+    /// Look up a handle, validating its tag (Figure 3.3's check).
+    ///
+    /// # Errors
+    ///
+    /// [`StatusCode::NoSuchObject`] for unknown identifiers (including
+    /// nil) and [`StatusCode::StaleHandle`] for tag mismatches.
+    pub fn lookup(&self, handle: Handle) -> RpcResult<&ObjectEntry> {
+        let entry = self
+            .entries
+            .get(&handle.object_id)
+            .ok_or_else(|| RpcError::status(StatusCode::NoSuchObject, format!("{handle:?}")))?;
+        if entry.tag != handle.tag {
+            return Err(RpcError::status(
+                StatusCode::StaleHandle,
+                format!("tag mismatch for object {}", handle.object_id),
+            ));
+        }
+        Ok(entry)
+    }
+
+    /// Look up and downcast the object behind a handle.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`lookup`](ObjectTable::lookup), plus
+    /// [`StatusCode::NoSuchMethod`] if the object is not a `T` (dispatch
+    /// reached the wrong class).
+    pub fn resolve<T: Any + Send + Sync>(&self, handle: Handle) -> RpcResult<Arc<T>> {
+        let entry = self.lookup(handle)?;
+        Arc::downcast::<T>(Arc::clone(&entry.object)).map_err(|_| {
+            RpcError::status(
+                StatusCode::NoSuchMethod,
+                format!("object {} is not a {}", handle.object_id, std::any::type_name::<T>()),
+            )
+        })
+    }
+
+    /// Remove an object; subsequent uses of its handles fail.
+    ///
+    /// Returns the entry if the handle was valid.
+    pub fn unregister(&mut self, handle: Handle) -> Option<ObjectEntry> {
+        match self.entries.get(&handle.object_id) {
+            Some(e) if e.tag == handle.tag => self.entries.remove(&handle.object_id),
+            _ => None,
+        }
+    }
+
+    /// Number of live objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no objects are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_resolve() {
+        let mut table = ObjectTable::new();
+        let h = table.register(7, 1, Arc::new(42u32));
+        let entry = table.lookup(h).unwrap();
+        assert_eq!(entry.class_id(), 7);
+        assert_eq!(entry.version(), 1);
+        let v: Arc<u32> = table.resolve(h).unwrap();
+        assert_eq!(*v, 42);
+    }
+
+    #[test]
+    fn tag_mismatch_is_stale_handle() {
+        let mut table = ObjectTable::new();
+        let h = table.register(1, 1, Arc::new(0u8));
+        let forged = Handle {
+            object_id: h.object_id,
+            tag: h.tag.wrapping_add(1),
+        };
+        let err = table.lookup(forged).unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
+    }
+
+    #[test]
+    fn unknown_object_is_no_such_object() {
+        let table = ObjectTable::new();
+        let err = table
+            .lookup(Handle {
+                object_id: 99,
+                tag: 1,
+            })
+            .unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::NoSuchObject));
+    }
+
+    #[test]
+    fn nil_handle_is_never_registered() {
+        let mut table = ObjectTable::new();
+        let h = table.register(1, 1, Arc::new(()));
+        assert_ne!(h.object_id, 0);
+        assert_ne!(h.tag, 0);
+        assert!(Handle::NIL.is_nil());
+        assert!(!h.is_nil());
+    }
+
+    #[test]
+    fn wrong_type_resolve_fails_cleanly() {
+        let mut table = ObjectTable::new();
+        let h = table.register(1, 1, Arc::new(42u32));
+        let err = table.resolve::<String>(h).unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::NoSuchMethod));
+    }
+
+    #[test]
+    fn unregister_invalidates_handles() {
+        let mut table = ObjectTable::new();
+        let h = table.register(1, 1, Arc::new(1u8));
+        assert!(table.unregister(h).is_some());
+        assert!(table.lookup(h).is_err());
+        assert!(table.unregister(h).is_none());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn unregister_with_bad_tag_is_refused() {
+        let mut table = ObjectTable::new();
+        let h = table.register(1, 1, Arc::new(1u8));
+        let forged = Handle {
+            object_id: h.object_id,
+            tag: h.tag.wrapping_add(1),
+        };
+        assert!(table.unregister(forged).is_none());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn handles_bundle_across_the_wire() {
+        let h = Handle {
+            object_id: 5,
+            tag: 0xdead_beef,
+        };
+        let bytes = clam_xdr::encode(&h).unwrap();
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(clam_xdr::decode::<Handle>(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn proc_ids_bundle_and_null_checks() {
+        let p = ProcId { id: 3 };
+        let bytes = clam_xdr::encode(&p).unwrap();
+        assert_eq!(clam_xdr::decode::<ProcId>(&bytes).unwrap(), p);
+        assert!(ProcId::NULL.is_null());
+        assert!(!p.is_null());
+    }
+}

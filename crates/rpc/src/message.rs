@@ -1,0 +1,304 @@
+//! Wire messages of the CLAM protocol.
+//!
+//! Two message families correspond to the two channels of section 4.4:
+//! call batches and replies travel on the RPC channel; upcalls and upcall
+//! replies on the upcall channel. Request id `0` marks an asynchronous
+//! call that expects no reply (and may therefore ride in a batch).
+
+use crate::error::StatusCode;
+use crate::handle::Handle;
+use clam_xdr::{Bundle, Opaque, XdrError, XdrResult, XdrStream};
+
+/// What a call is aimed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A builtin server service (bootstrap: loader, naming, registry).
+    Builtin(u32),
+    /// A dynamically created object, addressed by capability.
+    Object(Handle),
+}
+
+impl Bundle for Target {
+    fn bundle(stream: &mut XdrStream<'_>, slot: &mut Option<Self>) -> XdrResult<()> {
+        if stream.is_decoding() {
+            let mut kind = 0u32;
+            stream.x_u32(&mut kind)?;
+            match kind {
+                0 => {
+                    let mut id = 0u32;
+                    stream.x_u32(&mut id)?;
+                    *slot = Some(Target::Builtin(id));
+                }
+                1 => {
+                    let h = Handle::decode_from(stream)?;
+                    *slot = Some(Target::Object(h));
+                }
+                other => {
+                    return Err(XdrError::InvalidDiscriminant {
+                        type_name: "Target",
+                        value: other,
+                    })
+                }
+            }
+            Ok(())
+        } else {
+            let v = slot.as_ref().ok_or(XdrError::MissingValue("Target"))?;
+            match v {
+                Target::Builtin(id) => {
+                    let mut kind = 0u32;
+                    stream.x_u32(&mut kind)?;
+                    let mut id = *id;
+                    stream.x_u32(&mut id)?;
+                }
+                Target::Object(h) => {
+                    let mut kind = 1u32;
+                    stream.x_u32(&mut kind)?;
+                    h.encode_onto(stream)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// One procedure call within a batch.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Call {
+        /// Nonzero for calls expecting a reply; 0 for batched async calls.
+        pub request_id: u64,
+        /// What the call is aimed at.
+        pub target: Target,
+        /// Method number within the target's interface.
+        pub method: u32,
+        /// Bundled argument bytes (produced by the client stub).
+        pub args: Opaque,
+    }
+}
+
+impl Default for Call {
+    fn default() -> Self {
+        Call {
+            request_id: 0,
+            target: Target::Builtin(0),
+            method: 0,
+            args: Opaque::new(),
+        }
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// The reply to a call (or to an upcall).
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct Reply {
+        /// Matches the call's `request_id`.
+        pub request_id: u64,
+        /// Verdict.
+        pub status: StatusCode,
+        /// Human-readable detail for non-`Ok` statuses.
+        pub detail: String,
+        /// Bundled results (empty unless `Ok`).
+        pub results: Opaque,
+    }
+}
+
+impl Default for StatusCode {
+    fn default() -> Self {
+        StatusCode::Ok
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// A distributed upcall flowing from server to client (section 4).
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct UpcallMsg {
+        /// The client-side registered procedure to invoke.
+        pub proc_id: u64,
+        /// Nonzero if the server task will block for a reply.
+        pub request_id: u64,
+        /// Bundled argument bytes (produced by the server upcall stub).
+        pub args: Opaque,
+    }
+}
+
+/// A framed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// One or more calls, client → server, in order.
+    CallBatch(Vec<Call>),
+    /// Calls issued from inside an upcall handler while its triggering
+    /// upcall is still outstanding. Same dispatch semantics as
+    /// [`Message::CallBatch`], but the server services these immediately
+    /// instead of queuing them behind the (possibly blocked) main RPC
+    /// task — the nested choreography of the paper's section 4.4.
+    NestedCallBatch(Vec<Call>),
+    /// Reply to a sync call, server → client on the RPC channel.
+    Reply(Reply),
+    /// A distributed upcall, server → client on the upcall channel.
+    Upcall(UpcallMsg),
+    /// Reply to an upcall, client → server on the upcall channel.
+    UpcallReply(Reply),
+}
+
+const MSG_CALL_BATCH: u32 = 1;
+const MSG_REPLY: u32 = 2;
+const MSG_UPCALL: u32 = 3;
+const MSG_UPCALL_REPLY: u32 = 4;
+const MSG_NESTED_CALL_BATCH: u32 = 5;
+
+impl Bundle for Message {
+    fn bundle(stream: &mut XdrStream<'_>, slot: &mut Option<Self>) -> XdrResult<()> {
+        if stream.is_decoding() {
+            let mut kind = 0u32;
+            stream.x_u32(&mut kind)?;
+            let msg = match kind {
+                MSG_CALL_BATCH => Message::CallBatch(Vec::<Call>::decode_from(stream)?),
+                MSG_NESTED_CALL_BATCH => {
+                    Message::NestedCallBatch(Vec::<Call>::decode_from(stream)?)
+                }
+                MSG_REPLY => Message::Reply(Reply::decode_from(stream)?),
+                MSG_UPCALL => Message::Upcall(UpcallMsg::decode_from(stream)?),
+                MSG_UPCALL_REPLY => Message::UpcallReply(Reply::decode_from(stream)?),
+                other => {
+                    return Err(XdrError::InvalidDiscriminant {
+                        type_name: "Message",
+                        value: other,
+                    })
+                }
+            };
+            *slot = Some(msg);
+            Ok(())
+        } else {
+            let msg = slot.as_ref().ok_or(XdrError::MissingValue("Message"))?;
+            let mut kind = match msg {
+                Message::CallBatch(_) => MSG_CALL_BATCH,
+                Message::NestedCallBatch(_) => MSG_NESTED_CALL_BATCH,
+                Message::Reply(_) => MSG_REPLY,
+                Message::Upcall(_) => MSG_UPCALL,
+                Message::UpcallReply(_) => MSG_UPCALL_REPLY,
+            };
+            stream.x_u32(&mut kind)?;
+            match msg {
+                Message::CallBatch(calls) | Message::NestedCallBatch(calls) => {
+                    calls.encode_onto(stream)
+                }
+                Message::Reply(r) | Message::UpcallReply(r) => r.encode_onto(stream),
+                Message::Upcall(u) => u.encode_onto(stream),
+            }
+        }
+    }
+}
+
+impl Message {
+    /// Cheap frame-header test: is this the payload of a
+    /// [`Message::NestedCallBatch`]? Lets a pump route nested frames
+    /// without decoding the whole message.
+    #[must_use]
+    pub fn frame_is_nested(frame: &[u8]) -> bool {
+        frame.len() >= 4 && frame[..4] == MSG_NESTED_CALL_BATCH.to_be_bytes()
+    }
+
+    /// Encode to a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bundling errors.
+    pub fn to_frame(&self) -> XdrResult<Vec<u8>> {
+        clam_xdr::encode(self)
+    }
+
+    /// Decode from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bundling errors; trailing bytes are a protocol error.
+    pub fn from_frame(frame: &[u8]) -> XdrResult<Message> {
+        clam_xdr::decode(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_call(id: u64) -> Call {
+        Call {
+            request_id: id,
+            target: Target::Object(Handle {
+                object_id: 9,
+                tag: 0xfeed,
+            }),
+            method: 4,
+            args: Opaque::from(vec![1, 2, 3]),
+        }
+    }
+
+    #[test]
+    fn targets_round_trip() {
+        for t in [
+            Target::Builtin(0),
+            Target::Builtin(77),
+            Target::Object(Handle {
+                object_id: 1,
+                tag: 2,
+            }),
+        ] {
+            let bytes = clam_xdr::encode(&t).unwrap();
+            assert_eq!(clam_xdr::decode::<Target>(&bytes).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn call_batch_round_trips_preserving_order() {
+        let msg = Message::CallBatch(vec![sample_call(0), sample_call(0), sample_call(5)]);
+        let frame = msg.to_frame().unwrap();
+        let back = Message::from_frame(&frame).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn replies_round_trip_including_errors() {
+        let msg = Message::Reply(Reply {
+            request_id: 5,
+            status: StatusCode::StaleHandle,
+            detail: "tag mismatch".to_string(),
+            results: Opaque::new(),
+        });
+        let back = Message::from_frame(&msg.to_frame().unwrap()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn upcalls_round_trip() {
+        let msg = Message::Upcall(UpcallMsg {
+            proc_id: 11,
+            request_id: 3,
+            args: Opaque::from(vec![9; 40]),
+        });
+        let back = Message::from_frame(&msg.to_frame().unwrap()).unwrap();
+        assert_eq!(back, msg);
+
+        let msg = Message::UpcallReply(Reply {
+            request_id: 3,
+            status: StatusCode::Ok,
+            detail: String::new(),
+            results: Opaque::from(vec![1]),
+        });
+        let back = Message::from_frame(&msg.to_frame().unwrap()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn unknown_message_kind_is_rejected() {
+        let frame = clam_xdr::encode(&99u32).unwrap();
+        assert!(Message::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn garbage_frames_never_panic() {
+        for len in 0..32 {
+            let frame = vec![0xa5u8; len];
+            let _ = Message::from_frame(&frame);
+        }
+    }
+}

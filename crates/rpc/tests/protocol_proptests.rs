@@ -1,0 +1,130 @@
+//! Property tests for the RPC wire protocol and the handle table.
+
+use clam_rpc::{Call, Handle, Message, ObjectTable, Reply, StatusCode, Target, UpcallMsg};
+use clam_xdr::Opaque;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_handle() -> impl Strategy<Value = Handle> {
+    (any::<u64>(), any::<u64>()).prop_map(|(object_id, tag)| Handle { object_id, tag })
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        any::<u32>().prop_map(Target::Builtin),
+        arb_handle().prop_map(Target::Object),
+    ]
+}
+
+fn arb_opaque() -> impl Strategy<Value = Opaque> {
+    proptest::collection::vec(any::<u8>(), 0..128).prop_map(Opaque::from)
+}
+
+fn arb_call() -> impl Strategy<Value = Call> {
+    (any::<u64>(), arb_target(), any::<u32>(), arb_opaque()).prop_map(
+        |(request_id, target, method, args)| Call {
+            request_id,
+            target,
+            method,
+            args,
+        },
+    )
+}
+
+fn arb_status() -> impl Strategy<Value = StatusCode> {
+    prop_oneof![
+        Just(StatusCode::Ok),
+        Just(StatusCode::NoSuchService),
+        Just(StatusCode::NoSuchMethod),
+        Just(StatusCode::StaleHandle),
+        Just(StatusCode::NoSuchObject),
+        Just(StatusCode::BadArgs),
+        Just(StatusCode::Fault),
+        Just(StatusCode::NoSuchClass),
+        Just(StatusCode::UpcallLimit),
+        Just(StatusCode::AppError),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (any::<u64>(), arb_status(), ".{0,40}", arb_opaque()).prop_map(
+        |(request_id, status, detail, results)| Reply {
+            request_id,
+            status,
+            detail,
+            results,
+        },
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        proptest::collection::vec(arb_call(), 0..8).prop_map(Message::CallBatch),
+        arb_reply().prop_map(Message::Reply),
+        (any::<u64>(), any::<u64>(), arb_opaque())
+            .prop_map(|(proc_id, request_id, args)| Message::Upcall(UpcallMsg {
+                proc_id,
+                request_id,
+                args,
+            })),
+        arb_reply().prop_map(Message::UpcallReply),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_message_round_trips(msg in arb_message()) {
+        let frame = msg.to_frame().unwrap();
+        prop_assert_eq!(frame.len() % 4, 0, "frames are xdr-aligned");
+        let back = Message::from_frame(&frame).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn corrupt_frames_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::from_frame(&bytes);
+    }
+
+    #[test]
+    fn truncation_is_always_an_error(msg in arb_message(), cut in 1usize..16) {
+        let frame = msg.to_frame().unwrap();
+        if cut <= frame.len() && frame.len() > cut {
+            let truncated = &frame[..frame.len() - cut];
+            prop_assert!(Message::from_frame(truncated).is_err());
+        }
+    }
+
+    /// Handle lookups: the registered handle always resolves; any handle
+    /// with a different tag never does.
+    #[test]
+    fn handle_table_accepts_only_exact_capabilities(
+        values in proptest::collection::vec(any::<u32>(), 1..16),
+        tag_delta in 1u64..u64::MAX,
+    ) {
+        let mut table = ObjectTable::new();
+        let handles: Vec<Handle> = values
+            .iter()
+            .map(|v| table.register(1, 1, Arc::new(*v)))
+            .collect();
+        for (h, v) in handles.iter().zip(&values) {
+            let got: Arc<u32> = table.resolve(*h).unwrap();
+            prop_assert_eq!(*got, *v);
+            let forged = Handle {
+                object_id: h.object_id,
+                tag: h.tag.wrapping_add(tag_delta),
+            };
+            prop_assert!(table.lookup(forged).is_err());
+        }
+        prop_assert_eq!(table.len(), values.len());
+    }
+
+    /// Batches preserve call order through encode/decode.
+    #[test]
+    fn batch_order_is_preserved(calls in proptest::collection::vec(arb_call(), 0..16)) {
+        let frame = Message::CallBatch(calls.clone()).to_frame().unwrap();
+        match Message::from_frame(&frame).unwrap() {
+            Message::CallBatch(back) => prop_assert_eq!(back, calls),
+            other => prop_assert!(false, "wrong variant {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for the task layer.
+
+use std::fmt;
+
+/// Result alias for task operations.
+pub type TaskResult<T> = Result<T, TaskError>;
+
+/// A task terminated by panic instead of returning.
+///
+/// The scheduler catches panics at the task boundary (the CLAM server must
+/// survive faults in loaded code — paper section 4.3's error-reporting
+/// tasks depend on this) and reports them through
+/// [`JoinHandle::join`](crate::JoinHandle::join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    message: String,
+}
+
+impl TaskPanic {
+    pub(crate) fn new(message: String) -> Self {
+        TaskPanic { message }
+    }
+
+    /// The panic payload rendered as text.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Errors surfaced by scheduler operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaskError {
+    /// The task panicked; the payload is attached.
+    Panicked(TaskPanic),
+    /// The scheduler has been shut down and accepts no new tasks.
+    ShutDown,
+    /// An operation that requires task context was called from a plain
+    /// thread.
+    NotATask,
+    /// A task attempted to join itself, which would deadlock.
+    JoinSelf,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Panicked(p) => write!(f, "{p}"),
+            TaskError::ShutDown => write!(f, "scheduler is shut down"),
+            TaskError::NotATask => write!(f, "operation requires task context"),
+            TaskError::JoinSelf => write!(f, "task attempted to join itself"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaskError::Panicked(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl From<TaskPanic> for TaskError {
+    fn from(p: TaskPanic) -> Self {
+        TaskError::Panicked(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_message_is_preserved() {
+        let p = TaskPanic::new("boom".to_string());
+        assert_eq!(p.message(), "boom");
+        assert_eq!(p.to_string(), "task panicked: boom");
+    }
+
+    #[test]
+    fn error_source_chains_to_panic() {
+        use std::error::Error;
+        let e = TaskError::from(TaskPanic::new("x".to_string()));
+        assert!(e.source().is_some());
+        assert!(TaskError::ShutDown.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<TaskError>();
+        assert_bounds::<TaskPanic>();
+    }
+}

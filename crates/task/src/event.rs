@@ -1,0 +1,142 @@
+//! Events: the blocking/wakeup primitive of the paper's thread class.
+//!
+//! "A task can voluntarily block itself by waiting on a specific event.
+//! The task is reactivated when that event occurs." Events carry memory —
+//! a signal with no waiter is banked and satisfies the next wait — so the
+//! signal/wait race is benign in either order.
+//!
+//! Signals may come from tasks of the same scheduler (the woken task
+//! becomes ready; the signaler keeps the processor, preserving
+//! non-preemption) or from foreign OS threads such as an I/O pump (the
+//! woken task is dispatched immediately if the scheduler is idle).
+//! Foreign threads may also *wait* on an event; they block on a condition
+//! variable rather than participating in task scheduling.
+
+use crate::scheduler::{block_current_task, current_task_of, wake_picked_task, SchedInner, Scheduler};
+use crate::task::TaskId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct EventState {
+    /// Banked signals not yet consumed by a waiter.
+    pending: u64,
+    /// Tasks blocked on this event, woken FIFO.
+    task_waiters: VecDeque<TaskId>,
+    /// Broadcast generation, so external waiters can observe broadcasts
+    /// without consuming a banked signal.
+    generation: u64,
+}
+
+/// A blocking/wakeup event (counting semantics).
+///
+/// See the [module documentation](self::Event#) above for the scheduling rules.
+#[derive(Debug)]
+pub struct Event {
+    sched: Arc<SchedInner>,
+    state: Mutex<EventState>,
+    external_cv: Condvar,
+}
+
+impl Event {
+    /// Create an event bound to `sched`'s task universe.
+    #[must_use]
+    pub fn new(sched: &Scheduler) -> Event {
+        Event {
+            sched: Arc::clone(sched.inner()),
+            state: Mutex::new(EventState {
+                pending: 0,
+                task_waiters: VecDeque::new(),
+                generation: 0,
+            }),
+            external_cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the event is signaled. Consumes one banked signal if
+    /// available, otherwise waits.
+    ///
+    /// From a task of the owning scheduler this blocks *the task* (other
+    /// tasks run meanwhile); from any other thread it blocks the thread.
+    pub fn wait(&self) {
+        match current_task_of(&self.sched) {
+            Some(me) => self.wait_as_task(me),
+            None => self.wait_external(),
+        }
+    }
+
+    fn wait_as_task(&self, me: TaskId) {
+        // Fast path: consume a banked signal without blocking.
+        {
+            let mut ev = self.state.lock();
+            if ev.pending > 0 {
+                ev.pending -= 1;
+                return;
+            }
+        }
+        // Slow path: re-check under the scheduler state lock. The wake
+        // path takes that lock before touching the event, so a signal
+        // that slipped in since the fast-path check is visible here and
+        // aborts the block.
+        block_current_task(&self.sched, me, || {
+            let mut ev = self.state.lock();
+            if ev.pending > 0 {
+                ev.pending -= 1;
+                false // signal already arrived; do not block
+            } else {
+                ev.task_waiters.push_back(me);
+                true
+            }
+        });
+    }
+
+    fn wait_external(&self) {
+        let mut ev = self.state.lock();
+        let start_gen = ev.generation;
+        while ev.pending == 0 && ev.generation == start_gen {
+            self.external_cv.wait(&mut ev);
+        }
+        if ev.pending > 0 {
+            ev.pending -= 1;
+        }
+    }
+
+    /// Signal the event: wake the oldest waiter, or bank the signal if no
+    /// one is waiting.
+    pub fn signal(&self) {
+        wake_picked_task(&self.sched, || {
+            let mut ev = self.state.lock();
+            if let Some(tid) = ev.task_waiters.pop_front() {
+                vec![tid]
+            } else {
+                ev.pending += 1;
+                self.external_cv.notify_one();
+                Vec::new()
+            }
+        });
+    }
+
+    /// Wake every current waiter (task or external) without banking
+    /// signals for future waiters.
+    pub fn broadcast(&self) {
+        wake_picked_task(&self.sched, || {
+            let mut ev = self.state.lock();
+            ev.generation += 1;
+            self.external_cv.notify_all();
+            ev.task_waiters.drain(..).collect()
+        });
+    }
+
+    /// Number of banked (unconsumed) signals.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.state.lock().pending
+    }
+
+    /// Number of tasks currently blocked on this event.
+    #[must_use]
+    pub fn waiter_count(&self) -> usize {
+        self.state.lock().task_waiters.len()
+    }
+}

@@ -1,0 +1,54 @@
+//! Non-preemptive user-level tasks for `clam-rs`.
+//!
+//! The CLAM paper (section 4.3) structures asynchrony with *tasks*:
+//! lightweight threads supported at user level, scheduled
+//! **non-preemptively** — a task runs until it voluntarily blocks on an
+//! event, yields, or exits. The thread class provides creation, deletion,
+//! blocking, and resumption, and finished tasks are *reused* rather than
+//! recreated, "to reduce overhead".
+//!
+//! This crate reproduces that model. Each [`Scheduler`] admits **at most
+//! one running task at a time**; a task switch happens only at
+//! [`Scheduler::yield_now`], [`Event::wait`], [`JoinHandle::join`], or task
+//! exit. Under the hood every task is an OS thread gated by a baton, but
+//! application code observes exactly the paper's discipline: no preemption,
+//! no interleaving between tasks of one scheduler, real blocking semantics.
+//! Worker threads are pooled and reused across tasks (the paper's reuse
+//! rule); [`SchedulerStats`] exposes how often the pool was hit so the
+//! bench suite can measure the saving.
+//!
+//! Events may be signaled from *outside* the scheduler — e.g. by an I/O
+//! pump thread playing the role of the kernel — which is how the RPC and
+//! upcall layers wake tasks when messages arrive.
+//!
+//! # Example
+//!
+//! ```rust
+//! use clam_task::{Event, Scheduler};
+//! use std::sync::Arc;
+//!
+//! let sched = Scheduler::new("demo");
+//! let event = Arc::new(Event::new(&sched));
+//!
+//! let ev = Arc::clone(&event);
+//! let waiter = sched.spawn("waiter", move || {
+//!     ev.wait(); // voluntarily blocks; another task (or thread) signals
+//! });
+//!
+//! let ev = Arc::clone(&event);
+//! sched.spawn("signaler", move || {
+//!     ev.signal();
+//! });
+//!
+//! waiter.join().unwrap();
+//! ```
+
+mod error;
+mod event;
+mod scheduler;
+mod task;
+
+pub use error::{TaskError, TaskPanic, TaskResult};
+pub use event::Event;
+pub use scheduler::{Scheduler, SchedulerStats};
+pub use task::{JoinHandle, TaskId, TaskState};

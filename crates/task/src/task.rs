@@ -1,0 +1,127 @@
+//! Task identity, state, and join handles.
+
+use crate::error::TaskResult;
+use crate::scheduler::{SchedInner, Scheduler};
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a task within its scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+impl TaskId {
+    /// The raw numeric id.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a task, as in the paper's thread class: a task is
+/// runnable, running, voluntarily blocked, or finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// In the ready queue, waiting for the processor.
+    Ready,
+    /// The (single) currently running task of its scheduler.
+    Running,
+    /// Voluntarily blocked on an event or join.
+    Blocked,
+    /// Completed (normally or by panic).
+    Finished,
+}
+
+/// Completion record shared between the scheduler and [`JoinHandle`]s.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct CompletionState {
+    done: bool,
+    outcome: Option<TaskResult<()>>,
+}
+
+impl Completion {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Completion {
+            state: Mutex::new(CompletionState {
+                done: false,
+                outcome: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Record completion and wake external joiners.
+    pub(crate) fn complete(&self, outcome: TaskResult<()>) {
+        let mut st = self.state.lock();
+        st.done = true;
+        st.outcome = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.state.lock().done
+    }
+
+    /// Block the calling OS thread (external path) until completion.
+    pub(crate) fn wait_external(&self) -> TaskResult<()> {
+        let mut st = self.state.lock();
+        while !st.done {
+            self.cv.wait(&mut st);
+        }
+        st.outcome.clone().unwrap_or(Ok(()))
+    }
+
+    pub(crate) fn outcome(&self) -> Option<TaskResult<()>> {
+        self.state.lock().outcome.clone()
+    }
+}
+
+/// Handle to a spawned task.
+///
+/// Joining from another task of the same scheduler blocks *that task*
+/// (another task may run meanwhile, per the non-preemptive model); joining
+/// from a plain OS thread blocks the thread.
+#[derive(Debug)]
+pub struct JoinHandle {
+    pub(crate) id: TaskId,
+    pub(crate) sched: Arc<SchedInner>,
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl JoinHandle {
+    /// The id of the task this handle refers to.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True once the task has finished (normally or by panic).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.completion.is_done()
+    }
+
+    /// Wait for the task to finish and report its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::Panicked`](crate::TaskError::Panicked) if
+    /// the task panicked, or
+    /// [`TaskError::JoinSelf`](crate::TaskError::JoinSelf) when a task
+    /// joins itself.
+    pub fn join(self) -> TaskResult<()> {
+        Scheduler::join_inner(&self.sched, self.id, &self.completion)
+    }
+}

@@ -1,0 +1,344 @@
+//! Behavioural tests for the non-preemptive task scheduler.
+
+use clam_task::{Event, Scheduler, TaskError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[test]
+fn a_task_runs_and_joins() {
+    let sched = Scheduler::new("t");
+    let ran = Arc::new(AtomicU64::new(0));
+    let r = Arc::clone(&ran);
+    let h = sched.spawn("one", move || {
+        r.store(7, Ordering::SeqCst);
+    });
+    h.join().unwrap();
+    assert_eq!(ran.load(Ordering::SeqCst), 7);
+}
+
+#[test]
+fn tasks_do_not_interleave_without_yield() {
+    // Non-preemption: a running task owns the processor until it yields.
+    // Two tasks each append their tag three times with no yield; the log
+    // must contain two uninterrupted runs.
+    let sched = Scheduler::new("t");
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for tag in ["a", "b"] {
+        let log = Arc::clone(&log);
+        handles.push(sched.spawn(tag, move || {
+            for _ in 0..3 {
+                log.lock().unwrap().push(tag);
+                // Deliberately give the OS a chance to misbehave if
+                // preemption were possible.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let log = log.lock().unwrap();
+    assert_eq!(log[..3].concat(), log[0].repeat(3));
+    assert_eq!(log[3..].concat(), log[3].repeat(3));
+}
+
+#[test]
+fn yield_alternates_between_tasks() {
+    let sched = Scheduler::new("t");
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for tag in [0u8, 1] {
+        let log = Arc::clone(&log);
+        let s = sched.clone();
+        handles.push(sched.spawn("worker", move || {
+            for _ in 0..3 {
+                log.lock().unwrap().push(tag);
+                s.yield_now();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let log = log.lock().unwrap();
+    assert_eq!(*log, vec![0, 1, 0, 1, 0, 1]);
+}
+
+#[test]
+fn event_signal_then_wait_does_not_block() {
+    let sched = Scheduler::new("t");
+    let ev = Arc::new(Event::new(&sched));
+    ev.signal();
+    assert_eq!(ev.pending(), 1);
+    let e = Arc::clone(&ev);
+    sched
+        .spawn("waiter", move || {
+            e.wait(); // consumes the banked signal immediately
+        })
+        .join()
+        .unwrap();
+    assert_eq!(ev.pending(), 0);
+}
+
+#[test]
+fn event_wait_blocks_until_other_task_signals() {
+    let sched = Scheduler::new("t");
+    let ev = Arc::new(Event::new(&sched));
+    let order = Arc::new(Mutex::new(Vec::new()));
+
+    let (e1, o1) = (Arc::clone(&ev), Arc::clone(&order));
+    let waiter = sched.spawn("waiter", move || {
+        o1.lock().unwrap().push("wait-start");
+        e1.wait();
+        o1.lock().unwrap().push("wait-done");
+    });
+
+    let (e2, o2) = (Arc::clone(&ev), Arc::clone(&order));
+    let signaler = sched.spawn("signaler", move || {
+        o2.lock().unwrap().push("signal");
+        e2.signal();
+    });
+
+    waiter.join().unwrap();
+    signaler.join().unwrap();
+    assert_eq!(
+        *order.lock().unwrap(),
+        vec!["wait-start", "signal", "wait-done"]
+    );
+}
+
+#[test]
+fn event_signaled_from_external_thread_wakes_task() {
+    // This is the I/O-pump pattern: a foreign OS thread plays the kernel
+    // and reactivates a blocked task.
+    let sched = Scheduler::new("t");
+    let ev = Arc::new(Event::new(&sched));
+    let e = Arc::clone(&ev);
+    let h = sched.spawn("blocked-on-io", move || {
+        e.wait();
+    });
+    let e = Arc::clone(&ev);
+    let pump = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        e.signal();
+    });
+    h.join().unwrap();
+    pump.join().unwrap();
+}
+
+#[test]
+fn external_thread_can_wait_on_event() {
+    let sched = Scheduler::new("t");
+    let ev = Arc::new(Event::new(&sched));
+    let e = Arc::clone(&ev);
+    sched.spawn("signaler", move || {
+        e.signal();
+    });
+    // Main thread is not a task: external wait path.
+    ev.wait();
+}
+
+#[test]
+fn broadcast_wakes_all_waiters() {
+    let sched = Scheduler::new("t");
+    let ev = Arc::new(Event::new(&sched));
+    let woken = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let e = Arc::clone(&ev);
+        let w = Arc::clone(&woken);
+        handles.push(sched.spawn("w", move || {
+            e.wait();
+            w.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    // Let all four park. wait_idle returns when no task is ready/running.
+    sched.wait_idle();
+    assert_eq!(ev.waiter_count(), 4);
+    ev.broadcast();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(woken.load(Ordering::SeqCst), 4);
+    assert_eq!(ev.pending(), 0, "broadcast banks nothing");
+}
+
+#[test]
+fn signals_are_fifo_per_waiter() {
+    let sched = Scheduler::new("t");
+    let ev = Arc::new(Event::new(&sched));
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for tag in 0..3u8 {
+        let e = Arc::clone(&ev);
+        let o = Arc::clone(&order);
+        let s = sched.clone();
+        handles.push(sched.spawn("w", move || {
+            // Stagger arrival so the waiter list order is deterministic.
+            for _ in 0..tag {
+                s.yield_now();
+            }
+            e.wait();
+            o.lock().unwrap().push(tag);
+        }));
+    }
+    sched.wait_idle();
+    for _ in 0..3 {
+        ev.signal();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+}
+
+#[test]
+fn panicking_task_reports_through_join_and_scheduler_survives() {
+    let sched = Scheduler::new("t");
+    let h = sched.spawn("bad", || panic!("deliberate fault"));
+    let err = h.join().unwrap_err();
+    match err {
+        TaskError::Panicked(p) => assert!(p.message().contains("deliberate fault")),
+        other => panic!("unexpected error {other:?}"),
+    }
+    // The scheduler still runs new tasks afterwards.
+    let h = sched.spawn("good", || {});
+    h.join().unwrap();
+}
+
+#[test]
+fn join_from_within_a_task_blocks_that_task_only() {
+    let sched = Scheduler::new("t");
+    let order = Arc::new(Mutex::new(Vec::new()));
+
+    let o = Arc::clone(&order);
+    let inner_handle = sched.spawn("inner", move || {
+        o.lock().unwrap().push("inner");
+    });
+
+    let o = Arc::clone(&order);
+    let outer = sched.spawn("outer", move || {
+        o.lock().unwrap().push("outer-before");
+        inner_handle.join().unwrap();
+        o.lock().unwrap().push("outer-after");
+    });
+
+    outer.join().unwrap();
+    assert_eq!(
+        *order.lock().unwrap(),
+        vec!["inner", "outer-before", "outer-after"]
+    );
+}
+
+#[test]
+fn join_after_completion_returns_immediately() {
+    let sched = Scheduler::new("t");
+    let h = sched.spawn("quick", || {});
+    sched.wait_idle();
+    assert!(h.is_finished());
+    h.join().unwrap();
+}
+
+#[test]
+fn worker_threads_are_reused_across_tasks() {
+    let sched = Scheduler::new("t");
+    for _ in 0..10 {
+        sched.spawn("serial", || {}).join().unwrap();
+    }
+    let stats = sched.stats();
+    assert_eq!(stats.tasks_spawned, 10);
+    assert!(
+        stats.threads_created < 10,
+        "pool must be reused; created {} threads",
+        stats.threads_created
+    );
+    assert_eq!(
+        stats.threads_created + stats.workers_reused,
+        stats.tasks_spawned
+    );
+}
+
+#[test]
+fn shutdown_refuses_new_tasks() {
+    let sched = Scheduler::new("t");
+    sched.spawn("ok", || {}).join().unwrap();
+    sched.shutdown();
+    assert!(matches!(
+        sched.try_spawn("nope", || {}),
+        Err(TaskError::ShutDown)
+    ));
+}
+
+#[test]
+fn current_task_is_visible_inside_and_absent_outside() {
+    let sched = Scheduler::new("t");
+    assert!(sched.current_task().is_none());
+    let s = sched.clone();
+    let seen = Arc::new(Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    sched
+        .spawn("who", move || {
+            *seen2.lock().unwrap() = s.current_task();
+        })
+        .join()
+        .unwrap();
+    assert!(seen.lock().unwrap().is_some());
+}
+
+#[test]
+fn many_tasks_with_events_complete() {
+    // A little stress: a chain of tasks, each signaling the next.
+    const N: usize = 50;
+    let sched = Scheduler::new("chain");
+    let events: Vec<Arc<Event>> = (0..=N).map(|_| Arc::new(Event::new(&sched))).collect();
+    let mut handles = Vec::new();
+    for i in 0..N {
+        let wait_on = Arc::clone(&events[i]);
+        let then_signal = Arc::clone(&events[i + 1]);
+        handles.push(sched.spawn("link", move || {
+            wait_on.wait();
+            then_signal.signal();
+        }));
+    }
+    events[0].signal();
+    events[N].wait(); // external wait for the end of the chain
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn two_schedulers_are_independent() {
+    let a = Scheduler::new("a");
+    let b = Scheduler::new("b");
+    let ev_b = Arc::new(Event::new(&b));
+    // A task of scheduler A waiting on B's event uses the external path —
+    // and blocks its whole OS thread — so instead we check identity: a
+    // task of A is not a "current task" of B.
+    let b2 = b.clone();
+    let saw = Arc::new(Mutex::new(None));
+    let saw2 = Arc::clone(&saw);
+    a.spawn("probe", move || {
+        *saw2.lock().unwrap() = Some(b2.current_task());
+    })
+    .join()
+    .unwrap();
+    assert_eq!(*saw.lock().unwrap(), Some(None));
+    drop(ev_b);
+}
+
+#[test]
+fn live_task_count_tracks_lifecycle() {
+    let sched = Scheduler::new("t");
+    assert_eq!(sched.live_tasks(), 0);
+    let ev = Arc::new(Event::new(&sched));
+    let e = Arc::clone(&ev);
+    let h = sched.spawn("sleeper", move || e.wait());
+    sched.wait_idle();
+    assert_eq!(sched.live_tasks(), 1);
+    ev.signal();
+    h.join().unwrap();
+    assert_eq!(sched.live_tasks(), 0);
+}

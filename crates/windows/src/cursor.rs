@@ -1,0 +1,145 @@
+//! The mouse cursor: tracks position, draws an arrow, and can restore
+//! the pixels underneath (so moving the cursor doesn't smear the
+//! framebuffer).
+
+use crate::geometry::{Point, Rect};
+use crate::screen::{Pixel, Screen};
+
+/// Cursor ink color.
+pub const CURSOR_COLOR: Pixel = 0x00ff_00ff;
+
+const ARROW: [(i32, i32); 12] = [
+    (0, 0),
+    (0, 1),
+    (1, 1),
+    (0, 2),
+    (1, 2),
+    (2, 2),
+    (0, 3),
+    (1, 3),
+    (2, 3),
+    (3, 3),
+    (0, 4),
+    (1, 5),
+];
+
+/// The cursor: position plus saved underlying pixels.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    position: Point,
+    saved: Vec<(Point, Pixel)>,
+}
+
+impl Default for Cursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cursor {
+    /// A cursor at the origin, not yet drawn.
+    #[must_use]
+    pub fn new() -> Cursor {
+        Cursor {
+            position: Point::new(0, 0),
+            saved: Vec::new(),
+        }
+    }
+
+    /// Current hotspot position.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// The bounding box of the cursor shape at its current position.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        Rect::new(self.position.x, self.position.y, 4, 6)
+    }
+
+    /// Move the cursor: erase at the old position, redraw at `to`.
+    pub fn move_to(&mut self, screen: &mut Screen, to: Point) {
+        self.erase(screen);
+        self.position = to;
+        self.draw(screen);
+    }
+
+    /// Draw the arrow, saving the pixels underneath.
+    pub fn draw(&mut self, screen: &mut Screen) {
+        if !self.saved.is_empty() {
+            return; // already drawn
+        }
+        for (dx, dy) in ARROW {
+            let p = self.position.offset(dx, dy);
+            if let Some(old) = screen.pixel(p) {
+                self.saved.push((p, old));
+                screen.put_pixel(p, CURSOR_COLOR);
+            }
+        }
+    }
+
+    /// Restore the pixels the cursor covered.
+    pub fn erase(&mut self, screen: &mut Screen) {
+        for (p, old) in self.saved.drain(..) {
+            screen.put_pixel(p, old);
+        }
+    }
+
+    /// Is the cursor currently drawn?
+    #[must_use]
+    pub fn is_drawn(&self) -> bool {
+        !self.saved.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Size;
+
+    #[test]
+    fn draw_and_erase_restore_the_screen() {
+        let mut s = Screen::new(Size::new(30, 30), 0x42);
+        let mut c = Cursor::new();
+        c.move_to(&mut s, Point::new(10, 10));
+        assert!(c.is_drawn());
+        assert!(s.count_pixels(CURSOR_COLOR) > 0);
+        c.erase(&mut s);
+        assert!(!c.is_drawn());
+        assert_eq!(s.count_pixels(0x42), 30 * 30);
+    }
+
+    #[test]
+    fn moving_does_not_smear() {
+        let mut s = Screen::new(Size::new(30, 30), 0x42);
+        let mut c = Cursor::new();
+        c.move_to(&mut s, Point::new(5, 5));
+        c.move_to(&mut s, Point::new(20, 20));
+        // Exactly one cursor's worth of ink on screen.
+        assert_eq!(s.count_pixels(CURSOR_COLOR), ARROW.len());
+        assert_eq!(c.position(), Point::new(20, 20));
+    }
+
+    #[test]
+    fn cursor_clips_at_screen_edge() {
+        let mut s = Screen::new(Size::new(10, 10), 0);
+        let mut c = Cursor::new();
+        c.move_to(&mut s, Point::new(8, 8));
+        // Only in-bounds pixels were saved/drawn; erase restores cleanly.
+        c.erase(&mut s);
+        assert_eq!(s.count_pixels(0), 100);
+    }
+
+    #[test]
+    fn double_draw_is_idempotent() {
+        let mut s = Screen::new(Size::new(30, 30), 7);
+        let mut c = Cursor::new();
+        c.draw(&mut s);
+        let saved = c.saved.len();
+        c.draw(&mut s); // second draw must not re-save cursor ink
+        assert_eq!(c.saved.len(), saved);
+        c.erase(&mut s);
+        assert_eq!(s.count_pixels(7), 900);
+    }
+}

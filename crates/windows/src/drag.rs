@@ -1,0 +1,296 @@
+//! The drag layer: move a window by dragging, with an XOR outline for
+//! the "smooth visual effect" the paper attributes to server-side
+//! interaction code (section 2.1). Structurally a sibling of
+//! [`SweepLayer`](crate::SweepLayer): every mouse-move is consumed
+//! locally; one "window moved" event goes upward at the end.
+
+use crate::events::{InputEvent, MouseButton};
+use crate::geometry::{Point, Rect};
+use crate::screen::{Pixel, Screen};
+use crate::window::WindowId;
+use clam_core::UpcallRegistry;
+use clam_rpc::RpcResult;
+
+/// XOR mask for the drag outline.
+pub const DRAG_MASK: Pixel = 0x0055_aaff;
+
+clam_xdr::bundle_struct! {
+    /// The single upward event a completed drag produces.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct WindowMoved {
+        /// Which window was dragged.
+        pub window: WindowId,
+        /// Its frame before the drag.
+        pub from: Rect,
+        /// Its frame after the drag.
+        pub to: Rect,
+    }
+}
+
+/// What feeding an event to the drag layer produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DragOutcome {
+    /// Idle or mid-drag; the event was consumed (or ignored).
+    Pending,
+    /// The drag finished; the window's new frame is recorded.
+    Completed(WindowMoved),
+    /// The drag ended where it started — nothing moved.
+    Cancelled,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Idle,
+    Dragging {
+        grab: Point,
+        outline: Rect,
+        drawn: bool,
+    },
+}
+
+/// The dragging state machine for one window.
+pub struct DragLayer {
+    window: WindowId,
+    original: Rect,
+    state: State,
+    moves_consumed: u64,
+    completions: UpcallRegistry<WindowMoved, u32>,
+}
+
+impl std::fmt::Debug for DragLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DragLayer")
+            .field("window", &self.window)
+            .field("original", &self.original)
+            .field("moves_consumed", &self.moves_consumed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DragLayer {
+    /// Arm a drag for `window`, whose frame is currently `frame`.
+    #[must_use]
+    pub fn new(window: WindowId, frame: Rect) -> DragLayer {
+        DragLayer {
+            window,
+            original: frame,
+            state: State::Idle,
+            moves_consumed: 0,
+            completions: UpcallRegistry::new(),
+        }
+    }
+
+    /// Register the next layer's "window moved" procedure.
+    pub fn on_complete(&self, target: clam_core::UpcallTarget<WindowMoved, u32>) -> u64 {
+        self.completions.register(target)
+    }
+
+    /// Snapshot completion targets for delivery outside any owner lock.
+    #[must_use]
+    pub fn completion_targets(&self) -> Vec<clam_core::UpcallTarget<WindowMoved, u32>> {
+        self.completions.snapshot()
+    }
+
+    /// Make the single upward "window moved" upcall.
+    ///
+    /// # Errors
+    ///
+    /// Errors from upward listeners.
+    pub fn notify_complete(&self, moved: WindowMoved) -> RpcResult<()> {
+        let _ = self.completions.post(&moved)?;
+        Ok(())
+    }
+
+    /// Is a drag in progress?
+    #[must_use]
+    pub fn is_dragging(&self) -> bool {
+        matches!(self.state, State::Dragging { .. })
+    }
+
+    /// Mouse-moves consumed locally so far.
+    #[must_use]
+    pub fn moves_consumed(&self) -> u64 {
+        self.moves_consumed
+    }
+
+    /// Feed one input event. A left press grabs the window; moves slide
+    /// an XOR outline; release completes with the final frame. The
+    /// caller applies the move to the real window and delivers the
+    /// completion upcall (see [`SweepLayer`](crate::SweepLayer) for the
+    /// lock discipline).
+    pub fn handle_event(&mut self, screen: &mut Screen, event: InputEvent) -> DragOutcome {
+        match (self.state, event) {
+            (State::Idle, InputEvent::MouseDown(p, MouseButton::Left)) => {
+                let outline = self.original;
+                screen.xor_rect(outline, DRAG_MASK);
+                self.state = State::Dragging {
+                    grab: p,
+                    outline,
+                    drawn: true,
+                };
+                DragOutcome::Pending
+            }
+            (
+                State::Dragging {
+                    grab,
+                    outline,
+                    drawn,
+                },
+                InputEvent::MouseMove(p),
+            ) => {
+                self.moves_consumed += 1;
+                if drawn {
+                    screen.xor_rect(outline, DRAG_MASK);
+                }
+                let new_outline = self
+                    .original
+                    .offset(p.x - grab.x, p.y - grab.y);
+                screen.xor_rect(new_outline, DRAG_MASK);
+                self.state = State::Dragging {
+                    grab,
+                    outline: new_outline,
+                    drawn: true,
+                };
+                DragOutcome::Pending
+            }
+            (
+                State::Dragging {
+                    grab,
+                    outline,
+                    drawn,
+                },
+                InputEvent::MouseUp(p, MouseButton::Left),
+            ) => {
+                if drawn {
+                    screen.xor_rect(outline, DRAG_MASK);
+                }
+                self.state = State::Idle;
+                let to = self.original.offset(p.x - grab.x, p.y - grab.y);
+                if to == self.original {
+                    return DragOutcome::Cancelled;
+                }
+                DragOutcome::Completed(WindowMoved {
+                    window: self.window,
+                    from: self.original,
+                    to,
+                })
+            }
+            _ => DragOutcome::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Size;
+    use clam_core::UpcallTarget;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn rig() -> (DragLayer, Screen) {
+        (
+            DragLayer::new(WindowId { id: 3 }, Rect::new(10, 10, 30, 20)),
+            Screen::new(Size::new(120, 100), 0),
+        )
+    }
+
+    #[test]
+    fn drag_completes_with_the_translated_frame() {
+        let (mut layer, mut screen) = rig();
+        layer.handle_event(
+            &mut screen,
+            InputEvent::MouseDown(Point::new(15, 15), MouseButton::Left),
+        );
+        assert!(layer.is_dragging());
+        layer.handle_event(&mut screen, InputEvent::MouseMove(Point::new(40, 30)));
+        layer.handle_event(&mut screen, InputEvent::MouseMove(Point::new(55, 45)));
+        let outcome = layer.handle_event(
+            &mut screen,
+            InputEvent::MouseUp(Point::new(55, 45), MouseButton::Left),
+        );
+        assert_eq!(
+            outcome,
+            DragOutcome::Completed(WindowMoved {
+                window: WindowId { id: 3 },
+                from: Rect::new(10, 10, 30, 20),
+                to: Rect::new(50, 40, 30, 20),
+            })
+        );
+        assert_eq!(layer.moves_consumed(), 2);
+        assert!(!layer.is_dragging());
+    }
+
+    #[test]
+    fn outline_leaves_no_residue() {
+        let (mut layer, mut screen) = rig();
+        for ev in [
+            InputEvent::MouseDown(Point::new(15, 15), MouseButton::Left),
+            InputEvent::MouseMove(Point::new(80, 70)),
+            InputEvent::MouseMove(Point::new(20, 90)),
+            InputEvent::MouseUp(Point::new(20, 90), MouseButton::Left),
+        ] {
+            layer.handle_event(&mut screen, ev);
+        }
+        assert_eq!(screen.count_pixels(0), 120 * 100, "all XOR undone");
+    }
+
+    #[test]
+    fn releasing_in_place_cancels() {
+        let (mut layer, mut screen) = rig();
+        layer.handle_event(
+            &mut screen,
+            InputEvent::MouseDown(Point::new(15, 15), MouseButton::Left),
+        );
+        let outcome = layer.handle_event(
+            &mut screen,
+            InputEvent::MouseUp(Point::new(15, 15), MouseButton::Left),
+        );
+        assert_eq!(outcome, DragOutcome::Cancelled);
+        assert_eq!(screen.count_pixels(0), 120 * 100);
+    }
+
+    #[test]
+    fn completion_upcall_carries_the_move() {
+        let (layer, _screen) = rig();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        layer.on_complete(UpcallTarget::local(move |m: WindowMoved| {
+            s.lock().push(m);
+            Ok(0)
+        }));
+        let moved = WindowMoved {
+            window: WindowId { id: 3 },
+            from: Rect::new(0, 0, 5, 5),
+            to: Rect::new(9, 9, 5, 5),
+        };
+        layer.notify_complete(moved).unwrap();
+        assert_eq!(*seen.lock(), vec![moved]);
+    }
+
+    #[test]
+    fn moved_event_bundles() {
+        let m = WindowMoved {
+            window: WindowId { id: 7 },
+            from: Rect::new(1, 2, 3, 4),
+            to: Rect::new(5, 6, 3, 4),
+        };
+        let bytes = clam_xdr::encode(&m).unwrap();
+        assert_eq!(clam_xdr::decode::<WindowMoved>(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn non_left_buttons_are_ignored() {
+        let (mut layer, mut screen) = rig();
+        layer.handle_event(
+            &mut screen,
+            InputEvent::MouseDown(Point::new(15, 15), MouseButton::Right),
+        );
+        assert!(!layer.is_dragging());
+        assert_eq!(
+            layer.handle_event(&mut screen, InputEvent::MouseMove(Point::new(1, 1))),
+            DragOutcome::Pending
+        );
+        assert_eq!(layer.moves_consumed(), 0);
+    }
+}

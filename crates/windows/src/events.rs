@@ -1,0 +1,287 @@
+//! Input events and the queue-or-discard policy of section 4.1.
+//!
+//! "Each successive layer can decide whether to propagate the asynchrony
+//! (passing the event upwards) or limit the asynchrony (queuing the
+//! event) … If there are no higher layers interested in the event, then
+//! the lower level object decides what to do with the event. For example,
+//! it may queue up the event for later use or may throw it away."
+
+use crate::geometry::Point;
+use clam_xdr::{Bundle, XdrError, XdrResult, XdrStream};
+use std::collections::VecDeque;
+
+clam_xdr::bundle_enum! {
+    /// Which mouse button an event concerns.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum MouseButton {
+        /// Left button.
+        Left = 0,
+        /// Middle button.
+        Middle = 1,
+        /// Right button.
+        Right = 2,
+    }
+}
+
+impl Default for MouseButton {
+    fn default() -> Self {
+        MouseButton::Left
+    }
+}
+
+/// A low-level input event, as the screen layer sees it ("a low level
+/// input event containing information such as X-Y window coordinates",
+/// section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputEvent {
+    /// The mouse moved to a screen position.
+    MouseMove(Point),
+    /// A button went down at a position.
+    MouseDown(Point, MouseButton),
+    /// A button came up at a position.
+    MouseUp(Point, MouseButton),
+    /// A key was pressed (key code).
+    Key(u32),
+}
+
+impl Default for InputEvent {
+    fn default() -> Self {
+        InputEvent::MouseMove(Point::default())
+    }
+}
+
+impl InputEvent {
+    /// The screen position of a mouse event, if this is one.
+    #[must_use]
+    pub fn position(&self) -> Option<Point> {
+        match self {
+            InputEvent::MouseMove(p)
+            | InputEvent::MouseDown(p, _)
+            | InputEvent::MouseUp(p, _) => Some(*p),
+            InputEvent::Key(_) => None,
+        }
+    }
+
+    /// True for mouse events.
+    #[must_use]
+    pub fn is_mouse(&self) -> bool {
+        self.position().is_some()
+    }
+}
+
+const EV_MOVE: u32 = 0;
+const EV_DOWN: u32 = 1;
+const EV_UP: u32 = 2;
+const EV_KEY: u32 = 3;
+
+impl Bundle for InputEvent {
+    fn bundle(stream: &mut XdrStream<'_>, slot: &mut Option<Self>) -> XdrResult<()> {
+        if stream.is_decoding() {
+            let mut kind = 0u32;
+            stream.x_u32(&mut kind)?;
+            let ev = match kind {
+                EV_MOVE => InputEvent::MouseMove(Point::decode_from(stream)?),
+                EV_DOWN => InputEvent::MouseDown(
+                    Point::decode_from(stream)?,
+                    MouseButton::decode_from(stream)?,
+                ),
+                EV_UP => InputEvent::MouseUp(
+                    Point::decode_from(stream)?,
+                    MouseButton::decode_from(stream)?,
+                ),
+                EV_KEY => {
+                    let mut code = 0u32;
+                    stream.x_u32(&mut code)?;
+                    InputEvent::Key(code)
+                }
+                other => {
+                    return Err(XdrError::InvalidDiscriminant {
+                        type_name: "InputEvent",
+                        value: other,
+                    })
+                }
+            };
+            *slot = Some(ev);
+            Ok(())
+        } else {
+            let ev = slot.as_ref().ok_or(XdrError::MissingValue("InputEvent"))?;
+            match ev {
+                InputEvent::MouseMove(p) => {
+                    let mut kind = EV_MOVE;
+                    stream.x_u32(&mut kind)?;
+                    p.encode_onto(stream)
+                }
+                InputEvent::MouseDown(p, b) => {
+                    let mut kind = EV_DOWN;
+                    stream.x_u32(&mut kind)?;
+                    p.encode_onto(stream)?;
+                    b.encode_onto(stream)
+                }
+                InputEvent::MouseUp(p, b) => {
+                    let mut kind = EV_UP;
+                    stream.x_u32(&mut kind)?;
+                    p.encode_onto(stream)?;
+                    b.encode_onto(stream)
+                }
+                InputEvent::Key(code) => {
+                    let mut kind = EV_KEY;
+                    stream.x_u32(&mut kind)?;
+                    let mut code = *code;
+                    stream.x_u32(&mut code)
+                }
+            }
+        }
+    }
+}
+
+/// What a layer does with events when its queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Throw away the incoming event (the paper's "may throw it away").
+    #[default]
+    DropNewest,
+    /// Evict the oldest queued event to make room.
+    DropOldest,
+}
+
+/// A bounded event queue: the "limit the asynchrony" choice of
+/// section 4.1.
+#[derive(Debug, Clone)]
+pub struct EventQueue {
+    queue: VecDeque<InputEvent>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    dropped: u64,
+}
+
+impl EventQueue {
+    /// A queue holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> EventQueue {
+        assert!(capacity > 0, "event queue needs capacity");
+        EventQueue {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            dropped: 0,
+        }
+    }
+
+    /// Queue an event, applying the overflow policy. Returns `false` if
+    /// an event (this one or the oldest) was dropped.
+    pub fn push(&mut self, event: InputEvent) -> bool {
+        if self.queue.len() < self.capacity {
+            self.queue.push_back(event);
+            return true;
+        }
+        self.dropped += 1;
+        match self.policy {
+            OverflowPolicy::DropNewest => false,
+            OverflowPolicy::DropOldest => {
+                self.queue.pop_front();
+                self.queue.push_back(event);
+                false
+            }
+        }
+    }
+
+    /// Dequeue the oldest event.
+    pub fn pop(&mut self) -> Option<InputEvent> {
+        self.queue.pop_front()
+    }
+
+    /// Events currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Events dropped by the overflow policy so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_bundle_and_round_trip() {
+        let events = [
+            InputEvent::MouseMove(Point::new(-3, 9)),
+            InputEvent::MouseDown(Point::new(1, 2), MouseButton::Right),
+            InputEvent::MouseUp(Point::new(1, 2), MouseButton::Left),
+            InputEvent::Key(0x41),
+        ];
+        for ev in events {
+            let bytes = clam_xdr::encode(&ev).unwrap();
+            assert_eq!(clam_xdr::decode::<InputEvent>(&bytes).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn position_only_for_mouse_events() {
+        assert_eq!(
+            InputEvent::MouseMove(Point::new(4, 5)).position(),
+            Some(Point::new(4, 5))
+        );
+        assert_eq!(InputEvent::Key(1).position(), None);
+        assert!(!InputEvent::Key(1).is_mouse());
+    }
+
+    #[test]
+    fn queue_preserves_fifo_order() {
+        let mut q = EventQueue::new(4, OverflowPolicy::DropNewest);
+        q.push(InputEvent::Key(1));
+        q.push(InputEvent::Key(2));
+        assert_eq!(q.pop(), Some(InputEvent::Key(1)));
+        assert_eq!(q.pop(), Some(InputEvent::Key(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drop_newest_discards_incoming() {
+        let mut q = EventQueue::new(2, OverflowPolicy::DropNewest);
+        assert!(q.push(InputEvent::Key(1)));
+        assert!(q.push(InputEvent::Key(2)));
+        assert!(!q.push(InputEvent::Key(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop(), Some(InputEvent::Key(1)));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let mut q = EventQueue::new(2, OverflowPolicy::DropOldest);
+        q.push(InputEvent::Key(1));
+        q.push(InputEvent::Key(2));
+        assert!(!q.push(InputEvent::Key(3)));
+        assert_eq!(q.pop(), Some(InputEvent::Key(2)));
+        assert_eq!(q.pop(), Some(InputEvent::Key(3)));
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = EventQueue::new(0, OverflowPolicy::DropNewest);
+    }
+
+    #[test]
+    fn corrupt_event_bytes_are_rejected() {
+        let bytes = clam_xdr::encode(&9u32).unwrap();
+        assert!(clam_xdr::decode::<InputEvent>(&bytes).is_err());
+    }
+}

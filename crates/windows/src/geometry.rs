@@ -1,0 +1,262 @@
+//! Screen-space geometry: points, sizes, rectangles.
+//!
+//! Coordinates are `i32` (windows may hang off-screen to the left/top);
+//! sizes are `u32`. All types bundle, so they cross the wire in RPC and
+//! upcall arguments.
+
+clam_xdr::bundle_struct! {
+    /// A point in screen space.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+    pub struct Point {
+        /// Horizontal coordinate, growing rightward.
+        pub x: i32,
+        /// Vertical coordinate, growing downward.
+        pub y: i32,
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// A width/height pair.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+    pub struct Size {
+        /// Width in pixels.
+        pub width: u32,
+        /// Height in pixels.
+        pub height: u32,
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// An axis-aligned rectangle: origin plus size.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+    pub struct Rect {
+        /// Top-left corner.
+        pub origin: Point,
+        /// Extent.
+        pub size: Size,
+    }
+}
+
+impl Point {
+    /// Construct a point.
+    #[must_use]
+    pub fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+
+    /// Translate by a delta.
+    #[must_use]
+    pub fn offset(self, dx: i32, dy: i32) -> Point {
+        Point {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+}
+
+impl Size {
+    /// Construct a size.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> Size {
+        Size { width, height }
+    }
+
+    /// Pixel count.
+    #[must_use]
+    pub fn area(self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// True if either dimension is zero.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+}
+
+impl Rect {
+    /// Construct from origin coordinates and size.
+    #[must_use]
+    pub fn new(x: i32, y: i32, width: u32, height: u32) -> Rect {
+        Rect {
+            origin: Point::new(x, y),
+            size: Size::new(width, height),
+        }
+    }
+
+    /// The rectangle spanned by two corner points, in any order.
+    /// Degenerate (equal) corners give a zero-size rectangle.
+    #[must_use]
+    pub fn from_corners(a: Point, b: Point) -> Rect {
+        let x0 = a.x.min(b.x);
+        let y0 = a.y.min(b.y);
+        let x1 = a.x.max(b.x);
+        let y1 = a.y.max(b.y);
+        Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32)
+    }
+
+    /// Left edge.
+    #[must_use]
+    pub fn left(self) -> i32 {
+        self.origin.x
+    }
+
+    /// Top edge.
+    #[must_use]
+    pub fn top(self) -> i32 {
+        self.origin.y
+    }
+
+    /// One past the right edge.
+    #[must_use]
+    pub fn right(self) -> i32 {
+        self.origin.x + self.size.width as i32
+    }
+
+    /// One past the bottom edge.
+    #[must_use]
+    pub fn bottom(self) -> i32 {
+        self.origin.y + self.size.height as i32
+    }
+
+    /// True if either dimension is zero.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.size.is_empty()
+    }
+
+    /// Does this rectangle contain `p`? Edges are half-open: the left and
+    /// top edges are inside, the right and bottom are not.
+    #[must_use]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.left() && p.x < self.right() && p.y >= self.top() && p.y < self.bottom()
+    }
+
+    /// The overlap of two rectangles, if any.
+    #[must_use]
+    pub fn intersect(self, other: Rect) -> Option<Rect> {
+        let x0 = self.left().max(other.left());
+        let y0 = self.top().max(other.top());
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle covering both.
+    #[must_use]
+    pub fn union(self, other: Rect) -> Rect {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let x0 = self.left().min(other.left());
+        let y0 = self.top().min(other.top());
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        Rect::new(x0, y0, (x1 - x0) as u32, (y1 - y0) as u32)
+    }
+
+    /// Translate by a delta.
+    #[must_use]
+    pub fn offset(self, dx: i32, dy: i32) -> Rect {
+        Rect {
+            origin: self.origin.offset(dx, dy),
+            size: self.size,
+        }
+    }
+
+    /// Shrink by `margin` on every side (clamping at zero size).
+    #[must_use]
+    pub fn inset(self, margin: u32) -> Rect {
+        let m2 = margin.saturating_mul(2);
+        Rect::new(
+            self.origin.x + margin as i32,
+            self.origin.y + margin as i32,
+            self.size.width.saturating_sub(m2),
+            self.size.height.saturating_sub(m2),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = Rect::new(10, 10, 5, 5);
+        assert!(r.contains(Point::new(10, 10)));
+        assert!(r.contains(Point::new(14, 14)));
+        assert!(!r.contains(Point::new(15, 14)));
+        assert!(!r.contains(Point::new(14, 15)));
+        assert!(!r.contains(Point::new(9, 10)));
+    }
+
+    #[test]
+    fn intersect_overlapping_and_disjoint() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(b), Some(Rect::new(5, 5, 5, 5)));
+        let c = Rect::new(20, 20, 3, 3);
+        assert_eq!(a.intersect(c), None);
+        // Touching edges do not intersect (half-open).
+        let d = Rect::new(10, 0, 5, 5);
+        assert_eq!(a.intersect(d), None);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 5, 2, 2);
+        let u = a.union(b);
+        assert_eq!(u, Rect::new(0, 0, 7, 7));
+        assert_eq!(Rect::default().union(b), b);
+        assert_eq!(b.union(Rect::default()), b);
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let r1 = Rect::from_corners(Point::new(1, 2), Point::new(5, 7));
+        let r2 = Rect::from_corners(Point::new(5, 7), Point::new(1, 2));
+        assert_eq!(r1, r2);
+        assert_eq!(r1, Rect::new(1, 2, 4, 5));
+        assert!(Rect::from_corners(Point::new(3, 3), Point::new(3, 3)).is_empty());
+    }
+
+    #[test]
+    fn inset_clamps_at_zero() {
+        let r = Rect::new(0, 0, 10, 4);
+        assert_eq!(r.inset(1), Rect::new(1, 1, 8, 2));
+        assert!(r.inset(3).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let r = Rect::new(-5, -5, 10, 10);
+        assert!(r.contains(Point::new(-1, -1)));
+        assert!(r.contains(Point::new(0, 0)));
+        assert_eq!(r.right(), 5);
+        let clipped = r.intersect(Rect::new(0, 0, 100, 100)).unwrap();
+        assert_eq!(clipped, Rect::new(0, 0, 5, 5));
+    }
+
+    #[test]
+    fn geometry_bundles_across_the_wire() {
+        let r = Rect::new(-3, 4, 100, 200);
+        let bytes = clam_xdr::encode(&r).unwrap();
+        assert_eq!(clam_xdr::decode::<Rect>(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn size_area_and_empty() {
+        assert_eq!(Size::new(3, 4).area(), 12);
+        assert!(Size::new(0, 9).is_empty());
+        assert!(!Size::new(1, 1).is_empty());
+    }
+}

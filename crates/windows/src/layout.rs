@@ -1,0 +1,191 @@
+//! Tiling layout policies: arrange window frames within a bounding
+//! rectangle.
+
+use crate::geometry::Rect;
+
+/// How to arrange windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayoutPolicy {
+    /// Near-square grid.
+    #[default]
+    Grid,
+    /// Side-by-side full-height columns.
+    Columns,
+    /// Stacked full-width rows.
+    Rows,
+    /// One main window on the left, the rest stacked on the right.
+    MainAndStack,
+}
+
+/// Compute `count` frames tiling `bounds` under `policy`, with `gap`
+/// pixels between frames. Returns exactly `count` non-overlapping
+/// rectangles inside `bounds` (empty input → empty output).
+#[must_use]
+pub fn layout(bounds: Rect, count: usize, policy: LayoutPolicy, gap: u32) -> Vec<Rect> {
+    if count == 0 || bounds.is_empty() {
+        return Vec::new();
+    }
+    match policy {
+        LayoutPolicy::Grid => grid(bounds, count, gap),
+        LayoutPolicy::Columns => split(bounds, count, gap, true),
+        LayoutPolicy::Rows => split(bounds, count, gap, false),
+        LayoutPolicy::MainAndStack => main_and_stack(bounds, count, gap),
+    }
+}
+
+fn split(bounds: Rect, count: usize, gap: u32, vertical_cuts: bool) -> Vec<Rect> {
+    let n = count as u32;
+    let total_gap = gap * (n - 1);
+    let mut out = Vec::with_capacity(count);
+    if vertical_cuts {
+        let w = bounds.size.width.saturating_sub(total_gap) / n;
+        for i in 0..n {
+            out.push(Rect::new(
+                bounds.left() + (i * (w + gap)) as i32,
+                bounds.top(),
+                w,
+                bounds.size.height,
+            ));
+        }
+    } else {
+        let h = bounds.size.height.saturating_sub(total_gap) / n;
+        for i in 0..n {
+            out.push(Rect::new(
+                bounds.left(),
+                bounds.top() + (i * (h + gap)) as i32,
+                bounds.size.width,
+                h,
+            ));
+        }
+    }
+    out
+}
+
+fn grid(bounds: Rect, count: usize, gap: u32) -> Vec<Rect> {
+    let cols = (count as f64).sqrt().ceil() as u32;
+    let rows = (count as u32).div_ceil(cols);
+    let cell_w = bounds.size.width.saturating_sub(gap * (cols - 1)) / cols;
+    let cell_h = bounds.size.height.saturating_sub(gap * (rows - 1)) / rows;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count as u32 {
+        let c = i % cols;
+        let r = i / cols;
+        out.push(Rect::new(
+            bounds.left() + (c * (cell_w + gap)) as i32,
+            bounds.top() + (r * (cell_h + gap)) as i32,
+            cell_w,
+            cell_h,
+        ));
+    }
+    out
+}
+
+fn main_and_stack(bounds: Rect, count: usize, gap: u32) -> Vec<Rect> {
+    if count == 1 {
+        return vec![bounds];
+    }
+    let main_w = (bounds.size.width.saturating_sub(gap)) / 2;
+    let stack_w = bounds.size.width - main_w - gap;
+    let mut out = vec![Rect::new(
+        bounds.left(),
+        bounds.top(),
+        main_w,
+        bounds.size.height,
+    )];
+    let stack_bounds = Rect::new(
+        bounds.left() + (main_w + gap) as i32,
+        bounds.top(),
+        stack_w,
+        bounds.size.height,
+    );
+    out.extend(split(stack_bounds, count - 1, gap, false));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: Rect = Rect {
+        origin: crate::geometry::Point { x: 0, y: 0 },
+        size: crate::geometry::Size {
+            width: 100,
+            height: 80,
+        },
+    };
+
+    fn assert_disjoint_and_inside(frames: &[Rect]) {
+        for (i, a) in frames.iter().enumerate() {
+            assert!(
+                a.intersect(BOUNDS) == Some(*a) || a.is_empty(),
+                "{a:?} escapes bounds"
+            );
+            for b in &frames[i + 1..] {
+                assert_eq!(a.intersect(*b), None, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_windows_is_empty() {
+        assert!(layout(BOUNDS, 0, LayoutPolicy::Grid, 2).is_empty());
+    }
+
+    #[test]
+    fn columns_tile_side_by_side() {
+        let frames = layout(BOUNDS, 4, LayoutPolicy::Columns, 0);
+        assert_eq!(frames.len(), 4);
+        assert_disjoint_and_inside(&frames);
+        assert!(frames.iter().all(|f| f.size.height == 80));
+        assert!(frames.iter().all(|f| f.size.width == 25));
+    }
+
+    #[test]
+    fn rows_tile_stacked() {
+        let frames = layout(BOUNDS, 4, LayoutPolicy::Rows, 0);
+        assert_disjoint_and_inside(&frames);
+        assert!(frames.iter().all(|f| f.size.width == 100));
+        assert!(frames.iter().all(|f| f.size.height == 20));
+    }
+
+    #[test]
+    fn grid_is_near_square() {
+        let frames = layout(BOUNDS, 9, LayoutPolicy::Grid, 0);
+        assert_eq!(frames.len(), 9);
+        assert_disjoint_and_inside(&frames);
+        // 3x3 grid.
+        assert!(frames.iter().all(|f| f.size.width == 33));
+        assert!(frames.iter().all(|f| f.size.height == 26));
+    }
+
+    #[test]
+    fn grid_handles_non_square_counts() {
+        for count in [1, 2, 3, 5, 7, 10] {
+            let frames = layout(BOUNDS, count, LayoutPolicy::Grid, 1);
+            assert_eq!(frames.len(), count);
+            assert_disjoint_and_inside(&frames);
+        }
+    }
+
+    #[test]
+    fn main_and_stack_gives_half_to_the_main() {
+        let frames = layout(BOUNDS, 3, LayoutPolicy::MainAndStack, 0);
+        assert_eq!(frames.len(), 3);
+        assert_disjoint_and_inside(&frames);
+        assert_eq!(frames[0].size.width, 50);
+        assert_eq!(frames[0].size.height, 80);
+        assert_eq!(frames[1].size.height, 40);
+    }
+
+    #[test]
+    fn single_window_fills_bounds_in_main_and_stack() {
+        let frames = layout(BOUNDS, 1, LayoutPolicy::MainAndStack, 4);
+        assert_eq!(frames, vec![BOUNDS]);
+    }
+
+    #[test]
+    fn gaps_separate_frames() {
+        let frames = layout(BOUNDS, 2, LayoutPolicy::Columns, 10);
+        assert_eq!(frames[0].right() + 10, frames[1].left());
+    }
+}

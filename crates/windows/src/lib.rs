@@ -1,0 +1,56 @@
+//! The CLAM extensible window manager — the application substrate of the
+//! paper.
+//!
+//! "The initial use of CLAM was to build an extensible user interface
+//! manager … This includes 10 main classes, representing about 10,000
+//! lines of code. This system makes … extensive use of remote upcalls for
+//! propagating user input and other window management events to client
+//! programs." (section 5)
+//!
+//! The classes here mirror that system:
+//!
+//! | Class | Paper role |
+//! |---|---|
+//! | [`Screen`] | lowest layer: framebuffer, damage, raw input origin (Fig. 4.1's `screen`) |
+//! | [`Window`] | the window abstraction layered over the screen (Fig. 4.1's `window`) |
+//! | [`WindowManager`] | the base window (`BaseW`): z-order, hit testing, upward event routing |
+//! | [`InputDriver`] | synthetic mouse/keyboard source; each event starts a task that upcalls through the layers (section 4.3) |
+//! | [`EventQueue`] | the queue-or-discard policy for events nobody registered for (section 4.1) |
+//! | [`Cursor`] | mouse cursor drawn over the framebuffer |
+//! | [`SweepLayer`] | the sweep module of section 2.1: rubber-band a new window in the server, one upcall at the end |
+//! | [`DragLayer`] | window dragging with an XOR outline, one "window moved" upcall at the end |
+//! | [`Menu`] | pop-up menu with selection upcalls |
+//! | [`draw_text`](text::draw_text) / [`Font`](text::Font) | text rendering |
+//! | [`layout`] | tiling layout policies |
+//! | [`graphics3d`] | the 3-D graphics example of Figures 3.1/3.2, user-defined bundlers included |
+//!
+//! Every class works standalone (local layering — upcalls are procedure
+//! calls) and through [`module::windows_module`], which packages the
+//! whole system as a dynamically loadable CLAM module whose input events
+//! propagate to remote clients by distributed upcall.
+
+pub mod cursor;
+pub mod drag;
+pub mod events;
+pub mod geometry;
+pub mod graphics3d;
+pub mod input;
+pub mod layout;
+pub mod menu;
+pub mod module;
+pub mod screen;
+pub mod sweep;
+pub mod text;
+pub mod window;
+pub mod wm;
+
+pub use cursor::Cursor;
+pub use drag::{DragLayer, DragOutcome, WindowMoved};
+pub use events::{EventQueue, InputEvent, MouseButton, OverflowPolicy};
+pub use geometry::{Point, Rect, Size};
+pub use input::InputDriver;
+pub use menu::Menu;
+pub use screen::Screen;
+pub use sweep::{SweepLayer, SweepOutcome};
+pub use window::{Window, WindowId};
+pub use wm::WindowManager;

@@ -1,0 +1,284 @@
+//! A pop-up menu class: open at a point, hit-test items, upcall the
+//! selection to whatever layer registered interest.
+
+use crate::events::{InputEvent, MouseButton};
+use crate::geometry::{Point, Rect};
+use crate::screen::{Pixel, Screen};
+use crate::text::{draw_text, measure_text, GLYPH_HEIGHT};
+use clam_core::UpcallRegistry;
+use clam_rpc::RpcResult;
+
+/// Menu chrome colors.
+mod colors {
+    use crate::screen::Pixel;
+
+    pub const BACKGROUND: Pixel = 0x00e8_e8e8;
+    pub const BORDER: Pixel = 0x0000_0000;
+    pub const TEXT: Pixel = 0x0010_1010;
+}
+
+/// Item height in pixels.
+const ITEM_HEIGHT: u32 = GLYPH_HEIGHT + 4;
+/// Horizontal padding inside the menu.
+const PADDING: u32 = 4;
+
+/// A pop-up menu.
+pub struct Menu {
+    items: Vec<String>,
+    open_at: Option<Point>,
+    /// Selection listeners: receive the chosen item index.
+    selections: UpcallRegistry<u32, u32>,
+}
+
+impl std::fmt::Debug for Menu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Menu")
+            .field("items", &self.items)
+            .field("open_at", &self.open_at)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Menu {
+    /// A menu with the given items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    #[must_use]
+    pub fn new(items: Vec<String>) -> Menu {
+        assert!(!items.is_empty(), "a menu needs items");
+        Menu {
+            items,
+            open_at: None,
+            selections: UpcallRegistry::new(),
+        }
+    }
+
+    /// The menu's items.
+    #[must_use]
+    pub fn items(&self) -> &[String] {
+        &self.items
+    }
+
+    /// Register a selection listener (receives the item index).
+    pub fn on_select(&self, target: clam_core::UpcallTarget<u32, u32>) -> u64 {
+        self.selections.register(target)
+    }
+
+    /// Snapshot the selection targets for delivery outside any lock
+    /// protecting the menu's owner (see [`wm`](crate::wm) on locks and
+    /// distributed upcalls).
+    #[must_use]
+    pub fn selection_targets(&self) -> Vec<clam_core::UpcallTarget<u32, u32>> {
+        self.selections.snapshot()
+    }
+
+    /// Is the menu open?
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.open_at.is_some()
+    }
+
+    /// Open at a screen point.
+    pub fn open(&mut self, at: Point) {
+        self.open_at = Some(at);
+    }
+
+    /// Close without selecting.
+    pub fn close(&mut self) {
+        self.open_at = None;
+    }
+
+    /// The menu's rectangle when open.
+    #[must_use]
+    pub fn bounds(&self) -> Option<Rect> {
+        let at = self.open_at?;
+        let widest = self
+            .items
+            .iter()
+            .map(|i| measure_text(i).width)
+            .max()
+            .unwrap_or(0);
+        Some(Rect::new(
+            at.x,
+            at.y,
+            widest + PADDING * 2,
+            ITEM_HEIGHT * self.items.len() as u32 + 2,
+        ))
+    }
+
+    /// Which item a point lands on, if the menu is open.
+    #[must_use]
+    pub fn item_at(&self, p: Point) -> Option<u32> {
+        let bounds = self.bounds()?;
+        if !bounds.contains(p) {
+            return None;
+        }
+        let rel = p.y - bounds.top() - 1;
+        if rel < 0 {
+            return None;
+        }
+        let idx = (rel as u32) / ITEM_HEIGHT;
+        (idx < self.items.len() as u32).then_some(idx)
+    }
+
+    /// Feed an input event. A left-button release on an item selects it
+    /// and closes the menu; a release outside closes without selection.
+    /// Returns the selected index, if any. The caller delivers the
+    /// selection upcall — directly via
+    /// [`notify_select`](Menu::notify_select), or after releasing its
+    /// locks via [`selection_targets`](Menu::selection_targets).
+    ///
+    /// # Errors
+    ///
+    /// None currently; the `Result` keeps the signature stable for
+    /// richer menus (submenus validating state).
+    pub fn handle_event(&mut self, event: InputEvent) -> RpcResult<Option<u32>> {
+        if !self.is_open() {
+            return Ok(None);
+        }
+        if let InputEvent::MouseUp(p, MouseButton::Left) = event {
+            let choice = self.item_at(p);
+            self.close();
+            return Ok(choice);
+        }
+        Ok(None)
+    }
+
+    /// Upcall the selection listeners with a chosen index.
+    ///
+    /// # Errors
+    ///
+    /// Errors from selection listeners.
+    pub fn notify_select(&self, idx: u32) -> RpcResult<()> {
+        let _ = self.selections.post(&idx)?;
+        Ok(())
+    }
+
+    /// Paint the open menu; no-op when closed.
+    pub fn draw(&self, screen: &mut Screen) {
+        let Some(bounds) = self.bounds() else { return };
+        screen.fill_rect(bounds, colors::BACKGROUND);
+        screen.draw_rect(bounds, colors::BORDER);
+        for (i, item) in self.items.iter().enumerate() {
+            let y = bounds.top() + 1 + (i as u32 * ITEM_HEIGHT) as i32 + 2;
+            draw_text(
+                screen,
+                Point::new(bounds.left() + PADDING as i32, y),
+                item,
+                colors::TEXT,
+            );
+        }
+    }
+
+    /// Ink color for menu text (test support).
+    #[must_use]
+    pub fn text_color() -> Pixel {
+        colors::TEXT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clam_core::UpcallTarget;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn menu() -> Menu {
+        Menu::new(vec!["open".into(), "close".into(), "quit".into()])
+    }
+
+    #[test]
+    fn bounds_exist_only_when_open() {
+        let mut m = menu();
+        assert_eq!(m.bounds(), None);
+        m.open(Point::new(10, 10));
+        let b = m.bounds().unwrap();
+        assert_eq!(b.origin, Point::new(10, 10));
+        assert!(b.size.height >= 3 * ITEM_HEIGHT);
+        m.close();
+        assert!(!m.is_open());
+    }
+
+    #[test]
+    fn item_hit_testing_indexes_rows() {
+        let mut m = menu();
+        m.open(Point::new(0, 0));
+        assert_eq!(m.item_at(Point::new(3, 2)), Some(0));
+        assert_eq!(m.item_at(Point::new(3, 1 + ITEM_HEIGHT as i32 + 1)), Some(1));
+        assert_eq!(
+            m.item_at(Point::new(3, 1 + 2 * ITEM_HEIGHT as i32 + 1)),
+            Some(2)
+        );
+        assert_eq!(m.item_at(Point::new(500, 2)), None);
+    }
+
+    #[test]
+    fn release_on_item_selects_and_upcalls() {
+        let mut m = menu();
+        let chosen = Arc::new(Mutex::new(Vec::new()));
+        let c = Arc::clone(&chosen);
+        m.on_select(UpcallTarget::local(move |idx: u32| {
+            c.lock().push(idx);
+            Ok(0)
+        }));
+        m.open(Point::new(0, 0));
+        let sel = m
+            .handle_event(InputEvent::MouseUp(
+                Point::new(3, 1 + ITEM_HEIGHT as i32 + 1),
+                MouseButton::Left,
+            ))
+            .unwrap();
+        assert_eq!(sel, Some(1));
+        m.notify_select(sel.unwrap()).unwrap();
+        assert_eq!(*chosen.lock(), vec![1]);
+        assert!(!m.is_open(), "selection closes the menu");
+    }
+
+    #[test]
+    fn release_outside_closes_without_selection() {
+        let mut m = menu();
+        let fired = Arc::new(Mutex::new(0));
+        let f = Arc::clone(&fired);
+        m.on_select(UpcallTarget::local(move |_: u32| {
+            *f.lock() += 1;
+            Ok(0)
+        }));
+        m.open(Point::new(0, 0));
+        let sel = m
+            .handle_event(InputEvent::MouseUp(Point::new(300, 300), MouseButton::Left))
+            .unwrap();
+        assert_eq!(sel, None);
+        assert_eq!(*fired.lock(), 0);
+        assert!(!m.is_open());
+    }
+
+    #[test]
+    fn events_while_closed_are_ignored() {
+        let mut m = menu();
+        let sel = m
+            .handle_event(InputEvent::MouseUp(Point::new(1, 1), MouseButton::Left))
+            .unwrap();
+        assert_eq!(sel, None);
+    }
+
+    #[test]
+    fn drawing_paints_background_and_text() {
+        use crate::geometry::Size;
+        let mut s = Screen::new(Size::new(100, 100), 0);
+        let mut m = menu();
+        m.draw(&mut s); // closed: no-op
+        assert_eq!(s.count_pixels(0), 100 * 100);
+        m.open(Point::new(5, 5));
+        m.draw(&mut s);
+        assert!(s.count_pixels(Menu::text_color()) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs items")]
+    fn empty_menu_is_rejected() {
+        let _ = Menu::new(Vec::new());
+    }
+}

@@ -1,0 +1,717 @@
+//! The window system as a dynamically loadable CLAM module.
+//!
+//! This packages the whole substrate for clients: a `Desktop` class (one
+//! screen + window manager + optional sweep layer per instance) and the
+//! `Graphics3D` class of Figure 3.1. Clients load the module, create a
+//! desktop, register upcall procedures for window input, inject events
+//! (standing in for the Microvax mouse), and receive distributed upcalls
+//! as events propagate upward — the complete Figure 4.1 flow across
+//! address spaces.
+
+use crate::events::InputEvent;
+use crate::geometry::{Point, Rect, Size};
+use crate::graphics3d::{Graphics3DClass, Graphics3DImpl};
+use crate::screen::Screen;
+use crate::drag::{DragLayer, DragOutcome, WindowMoved};
+use crate::menu::Menu;
+use crate::sweep::{SweepLayer, SweepOptions, SweepOutcome};
+use crate::window::WindowId;
+use crate::wm::WindowManager;
+use clam_core::{ClamServer, UpcallTarget};
+use clam_load::{ClassSpec, Module, SimpleModule, Version};
+use clam_rpc::{current_conn, ProcId, RpcError, RpcResult, StatusCode};
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
+
+clam_rpc::remote_interface! {
+    /// The desktop: screen + window manager + input injection.
+    pub interface Desktop {
+        proxy DesktopProxy;
+        skeleton DesktopSkeleton;
+        class DesktopClass;
+
+        /// The screen's size.
+        fn screen_size() -> Size = 1;
+        /// Create a window; returns its id.
+        fn create_window(frame: Rect, title: String) -> WindowId = 2;
+        /// Destroy a window.
+        fn destroy_window(id: WindowId) -> bool = 3;
+        /// Move a window's frame origin.
+        fn move_window(id: WindowId, to: Point) -> () = 4;
+        /// Raise a window to the top of the stack.
+        fn raise_window(id: WindowId) -> bool = 5;
+        /// A window's current frame.
+        fn window_frame(id: WindowId) -> Rect = 6;
+        /// Register an upcall for a window's input (`postinput`).
+        fn post_input(id: WindowId, proc: ProcId) -> u64 = 7;
+        /// Register an upcall for events hitting no window.
+        fn post_desktop(proc: ProcId) -> u64 = 8;
+        /// Inject one input event and deliver it through the layers;
+        /// returns how many upcall targets received it.
+        fn inject(event: InputEvent) -> u32 = 9;
+        /// Inject a scripted event sequence (batched, in order).
+        fn inject_script(events: Vec<InputEvent>) = 10 oneway;
+        /// Arm a one-shot sweep: the next press-drag-release sweeps out a
+        /// rectangle in the server, creates the window, and upcalls
+        /// `on_complete` once with the final frame (section 2.1).
+        fn begin_sweep(grid: u32, on_complete: ProcId) -> () = 11;
+        /// Repaint every window into the framebuffer.
+        fn redraw() -> () = 12;
+        /// Read one pixel (test/diagnostic).
+        fn pixel(at: Point) -> u32 = 13;
+        /// Count pixels with a value (test/diagnostic).
+        fn count_pixels(value: u32) -> u64 = 14;
+        /// Number of live windows.
+        fn window_count() -> u64 = 15;
+        /// Drain events that no layer was registered for (section 4.1).
+        fn take_unclaimed() -> Vec<InputEvent> = 16;
+        /// Resize a window's outer frame.
+        fn resize_window(id: WindowId, width: u32, height: u32) -> () = 17;
+        /// Retitle a window.
+        fn set_title(id: WindowId, title: String) -> () = 18;
+        /// The desktop's behavior options (differ per module version).
+        fn options() -> DesktopOptions = 19;
+        /// Open a pop-up menu at a point; `on_select` is upcalled once
+        /// with the chosen item index when the user releases on an item.
+        fn open_menu(items: Vec<String>, at: Point, on_select: ProcId) -> () = 20;
+        /// Is a menu currently open?
+        fn menu_open() -> bool = 21;
+        /// Read a clipped rectangle of pixels, row-major (one round trip
+        /// for whole-screen inspection instead of one per pixel).
+        fn read_region(rect: Rect) -> Vec<u32> = 22;
+        /// Register a damage listener: after each delivered event or
+        /// redraw, the union of damaged pixels is reported by
+        /// *asynchronous* upcall (a repaint hint, not a request).
+        fn on_damage(proc: ProcId) -> u64 = 23;
+        /// Remove a `post_input` registration.
+        fn remove_input(id: WindowId, registration: u64) -> bool = 24;
+        /// Arm a one-shot window move: the next press-drag-release slides
+        /// an outline, moves the window, and upcalls `on_complete` once
+        /// with the old and new frames.
+        fn begin_move(id: WindowId, on_complete: ProcId) -> () = 25;
+    }
+}
+
+clam_xdr::bundle_struct! {
+    /// Per-version behavior knobs — the paper's point that "different
+    /// clients could have different versions, depending on their
+    /// application" (section 2.1). Version 1.x of the windows module
+    /// ships free-form sweeps; version 2.x snaps sweeps to a grid.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct DesktopOptions {
+        /// Grid applied to sweeps when the client passes grid = 0
+        /// ("use the module's default").
+        pub default_sweep_grid: u32,
+        /// Draw the rubber band while sweeping.
+        pub sweep_band: bool,
+    }
+}
+
+struct DesktopState {
+    screen: Screen,
+    wm: WindowManager,
+    sweep: Option<SweepLayer>,
+    menu: Option<Menu>,
+    drag: Option<DragLayer>,
+}
+
+impl DesktopState {
+    fn repaint(&mut self) {
+        let DesktopState { screen, wm, .. } = self;
+        wm.draw_all(screen);
+    }
+}
+
+/// Options for version 1.x of the module.
+pub const V1_OPTIONS: DesktopOptions = DesktopOptions {
+    default_sweep_grid: 1,
+    sweep_band: true,
+};
+
+/// Options for version 2.x: grid-snapped sweeps (a different take on
+/// "the details of window creation").
+pub const V2_OPTIONS: DesktopOptions = DesktopOptions {
+    default_sweep_grid: 8,
+    sweep_band: true,
+};
+
+/// Server-side desktop object.
+pub struct DesktopImpl {
+    server: Weak<ClamServer>,
+    options: DesktopOptions,
+    state: Mutex<DesktopState>,
+    damage_listeners: clam_core::UpcallRegistry<Rect, u32>,
+}
+
+impl std::fmt::Debug for DesktopImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesktopImpl").finish_non_exhaustive()
+    }
+}
+
+impl DesktopImpl {
+    /// A desktop with a fresh screen of `size` and v1 behavior.
+    #[must_use]
+    pub fn new(server: Weak<ClamServer>, size: Size) -> DesktopImpl {
+        Self::with_options(server, size, V1_OPTIONS)
+    }
+
+    /// A desktop with explicit per-version behavior options.
+    #[must_use]
+    pub fn with_options(
+        server: Weak<ClamServer>,
+        size: Size,
+        options: DesktopOptions,
+    ) -> DesktopImpl {
+        DesktopImpl {
+            server,
+            options,
+            damage_listeners: clam_core::UpcallRegistry::new(),
+            state: Mutex::new(DesktopState {
+                screen: Screen::new(size, 0),
+                wm: WindowManager::new(),
+                sweep: None,
+                menu: None,
+                drag: None,
+            }),
+        }
+    }
+
+    /// Resolve a client ProcId into a typed upcall target, using the
+    /// calling connection (the procedure-pointer translation of section
+    /// 3.5.2).
+    fn target_for<A, R>(&self, proc: ProcId) -> RpcResult<UpcallTarget<A, R>>
+    where
+        A: clam_xdr::Bundle + Clone,
+        R: clam_xdr::Bundle + Clone,
+    {
+        let server = self
+            .server
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "server is gone"))?;
+        let conn = current_conn()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no calling connection"))?;
+        server.upcall_target(conn, proc)
+    }
+
+    /// Report accumulated damage to registered listeners, by
+    /// asynchronous upcall ("propagate the asynchrony" — a repaint hint
+    /// must never block the input pipeline). Call WITHOUT holding the
+    /// state lock.
+    fn publish_damage(&self, damage: Rect) -> RpcResult<()> {
+        if !damage.is_empty() {
+            let _ = self.damage_listeners.post_async(&damage)?;
+        }
+        Ok(())
+    }
+
+    /// Run `f` against the locked state (in-server composition and
+    /// tests).
+    pub fn with_state<T>(&self, f: impl FnOnce(&mut WindowManager, &mut Screen) -> T) -> T {
+        let mut st = self.state.lock();
+        let DesktopState { screen, wm, .. } = &mut *st;
+        f(wm, screen)
+    }
+}
+
+impl Desktop for DesktopImpl {
+    fn screen_size(&self) -> RpcResult<Size> {
+        Ok(self.state.lock().screen.size())
+    }
+
+    fn create_window(&self, frame: Rect, title: String) -> RpcResult<WindowId> {
+        let mut st = self.state.lock();
+        let id = st.wm.create_window(frame, title);
+        let DesktopState { screen, wm, .. } = &mut *st;
+        wm.draw_all(screen);
+        Ok(id)
+    }
+
+    fn destroy_window(&self, id: WindowId) -> RpcResult<bool> {
+        Ok(self.state.lock().wm.destroy_window(id))
+    }
+
+    fn move_window(&self, id: WindowId, to: Point) -> RpcResult<()> {
+        let mut st = self.state.lock();
+        st.wm
+            .window_mut(id)
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no such window"))?
+            .move_to(to);
+        Ok(())
+    }
+
+    fn raise_window(&self, id: WindowId) -> RpcResult<bool> {
+        Ok(self.state.lock().wm.raise(id))
+    }
+
+    fn window_frame(&self, id: WindowId) -> RpcResult<Rect> {
+        self.state
+            .lock()
+            .wm
+            .window(id)
+            .map(|w| w.frame())
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no such window"))
+    }
+
+    fn post_input(&self, id: WindowId, proc: ProcId) -> RpcResult<u64> {
+        let target = self.target_for(proc)?;
+        self.state
+            .lock()
+            .wm
+            .post_input(id, target)
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no such window"))
+    }
+
+    fn post_desktop(&self, proc: ProcId) -> RpcResult<u64> {
+        let target = self.target_for(proc)?;
+        Ok(self.state.lock().wm.post_desktop(target))
+    }
+
+    fn inject(&self, event: InputEvent) -> RpcResult<u32> {
+        // Phase 1 under the lock: advance state machines, select targets.
+        // Phase 2 after unlock: perform the (possibly remote, blocking)
+        // upcalls.
+        enum Plan {
+            Sweep(Rect, Vec<UpcallTarget<Rect, u32>>),
+            Menu(u32, Vec<UpcallTarget<u32, u32>>),
+            Moved(WindowMoved, Vec<UpcallTarget<WindowMoved, u32>>),
+            Routed(crate::wm::RoutedEvent),
+            Consumed,
+        }
+        let plan = {
+            let mut st = self.state.lock();
+            if let Some(menu) = st.menu.as_mut() {
+                // An open menu captures input until it closes (the menu
+                // limits the asynchrony to one selection upcall).
+                let was_open = menu.is_open();
+                let choice = menu.handle_event(event)?;
+                let closed = !menu.is_open();
+                let targets = menu.selection_targets();
+                if closed {
+                    st.menu = None;
+                    let DesktopState { screen, wm, .. } = &mut *st;
+                    screen.clear();
+                    wm.draw_all(screen);
+                }
+                if let (true, Some(idx)) = (was_open, choice) {
+                    Plan::Menu(idx, targets)
+                } else {
+                    Plan::Consumed
+                }
+            } else if st.drag.is_some() {
+                let DesktopState { screen, drag, .. } = &mut *st;
+                let outcome = drag
+                    .as_mut()
+                    .expect("drag checked above")
+                    .handle_event(screen, event);
+                match outcome {
+                    DragOutcome::Completed(moved) => {
+                        let targets = drag
+                            .as_ref()
+                            .expect("drag present")
+                            .completion_targets();
+                        st.drag = None; // one-shot
+                        if let Some(w) = st.wm.window_mut(moved.window) {
+                            w.move_to(moved.to.origin);
+                        }
+                        st.screen.clear();
+                        st.repaint();
+                        Plan::Moved(moved, targets)
+                    }
+                    DragOutcome::Cancelled => {
+                        st.drag = None;
+                        Plan::Consumed
+                    }
+                    DragOutcome::Pending => Plan::Consumed,
+                }
+            } else if st.sweep.is_some() {
+                let DesktopState { screen, sweep, .. } = &mut *st;
+                let outcome = sweep
+                    .as_mut()
+                    .expect("sweep checked above")
+                    .handle_event(screen, event);
+                match outcome {
+                    SweepOutcome::Completed(rect) => {
+                        let targets = sweep
+                            .as_ref()
+                            .expect("sweep present")
+                            .completion_targets();
+                        st.sweep = None; // one-shot
+                        let id = st.wm.create_window(rect, "swept");
+                        let _ = id;
+                        let DesktopState { screen, wm, .. } = &mut *st;
+                        wm.draw_all(screen);
+                        Plan::Sweep(rect, targets)
+                    }
+                    SweepOutcome::Cancelled => {
+                        st.sweep = None;
+                        Plan::Consumed
+                    }
+                    SweepOutcome::Pending => Plan::Consumed,
+                }
+            } else {
+                Plan::Routed(st.wm.route_event(event))
+            }
+        };
+        let damage = self.state.lock().screen.take_damage();
+        self.publish_damage(damage)?;
+        match plan {
+            Plan::Sweep(rect, targets) => {
+                let mut delivered = 0u32;
+                for t in targets {
+                    t.invoke(rect)?;
+                    delivered += 1;
+                }
+                Ok(delivered)
+            }
+            Plan::Menu(idx, targets) => {
+                let mut delivered = 0u32;
+                for t in targets {
+                    t.invoke(idx)?;
+                    delivered += 1;
+                }
+                Ok(delivered)
+            }
+            Plan::Moved(moved, targets) => {
+                let mut delivered = 0u32;
+                for t in targets {
+                    t.invoke(moved)?;
+                    delivered += 1;
+                }
+                Ok(delivered)
+            }
+            Plan::Routed(routed) => {
+                let replies = routed.deliver()?;
+                Ok(u32::try_from(replies.len()).unwrap_or(u32::MAX))
+            }
+            Plan::Consumed => Ok(0),
+        }
+    }
+
+    fn inject_script(&self, events: Vec<InputEvent>) -> RpcResult<()> {
+        for event in events {
+            self.inject(event)?;
+        }
+        Ok(())
+    }
+
+    fn begin_move(&self, id: WindowId, on_complete: ProcId) -> RpcResult<()> {
+        let frame = self
+            .state
+            .lock()
+            .wm
+            .window(id)
+            .map(|w| w.frame())
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no such window"))?;
+        let layer = DragLayer::new(id, frame);
+        if !on_complete.is_null() {
+            let target = self.target_for(on_complete)?;
+            layer.on_complete(target);
+        }
+        self.state.lock().drag = Some(layer);
+        Ok(())
+    }
+
+    fn begin_sweep(&self, grid: u32, on_complete: ProcId) -> RpcResult<()> {
+        let grid = if grid == 0 {
+            self.options.default_sweep_grid
+        } else {
+            grid
+        };
+        let layer = SweepLayer::new(SweepOptions {
+            grid: grid.max(1),
+            show_band: self.options.sweep_band,
+        });
+        if !on_complete.is_null() {
+            let target = self.target_for(on_complete)?;
+            layer.on_complete(target);
+        }
+        self.state.lock().sweep = Some(layer);
+        Ok(())
+    }
+
+    fn redraw(&self) -> RpcResult<()> {
+        let damage = {
+            let mut st = self.state.lock();
+            st.screen.clear();
+            st.repaint();
+            st.screen.take_damage()
+        };
+        self.publish_damage(damage)
+    }
+
+    fn pixel(&self, at: Point) -> RpcResult<u32> {
+        self.state
+            .lock()
+            .screen
+            .pixel(at)
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "pixel out of bounds"))
+    }
+
+    fn count_pixels(&self, value: u32) -> RpcResult<u64> {
+        Ok(self.state.lock().screen.count_pixels(value) as u64)
+    }
+
+    fn window_count(&self) -> RpcResult<u64> {
+        Ok(self.state.lock().wm.window_count() as u64)
+    }
+
+    fn take_unclaimed(&self) -> RpcResult<Vec<InputEvent>> {
+        Ok(self.state.lock().wm.take_unclaimed())
+    }
+
+    fn resize_window(&self, id: WindowId, width: u32, height: u32) -> RpcResult<()> {
+        let mut st = self.state.lock();
+        st.wm
+            .window_mut(id)
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no such window"))?
+            .resize(width, height);
+        Ok(())
+    }
+
+    fn set_title(&self, id: WindowId, title: String) -> RpcResult<()> {
+        let mut st = self.state.lock();
+        st.wm
+            .window_mut(id)
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no such window"))?
+            .set_title(title);
+        Ok(())
+    }
+
+    fn options(&self) -> RpcResult<DesktopOptions> {
+        Ok(self.options)
+    }
+
+    fn open_menu(&self, items: Vec<String>, at: Point, on_select: ProcId) -> RpcResult<()> {
+        if items.is_empty() {
+            return Err(RpcError::status(StatusCode::BadArgs, "a menu needs items"));
+        }
+        let mut menu = Menu::new(items);
+        if !on_select.is_null() {
+            let target = self.target_for(on_select)?;
+            menu.on_select(target);
+        }
+        menu.open(at);
+        let mut st = self.state.lock();
+        menu.draw(&mut st.screen);
+        st.menu = Some(menu);
+        Ok(())
+    }
+
+    fn menu_open(&self) -> RpcResult<bool> {
+        Ok(self.state.lock().menu.is_some())
+    }
+
+    fn on_damage(&self, proc: ProcId) -> RpcResult<u64> {
+        let target = self.target_for(proc)?;
+        Ok(self.damage_listeners.register(target))
+    }
+
+    fn remove_input(&self, id: WindowId, registration: u64) -> RpcResult<bool> {
+        Ok(self.state.lock().wm.remove_input(id, registration))
+    }
+
+    fn read_region(&self, rect: Rect) -> RpcResult<Vec<u32>> {
+        let st = self.state.lock();
+        let Some(clipped) = rect.intersect(st.screen.bounds()) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::with_capacity(clipped.size.area() as usize);
+        for y in clipped.top()..clipped.bottom() {
+            for x in clipped.left()..clipped.right() {
+                out.push(
+                    st.screen
+                        .pixel(Point::new(x, y))
+                        .expect("clipped to bounds"),
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Default desktop screen size when a client passes no constructor args.
+pub const DEFAULT_SCREEN: Size = Size {
+    width: 640,
+    height: 480,
+};
+
+/// Build the loadable window-system module at `version`.
+///
+/// Classes: `"Desktop"` (constructor args: an optional bundled [`Size`])
+/// and `"Graphics3D"` (constructor args: an optional bundled [`Size`]).
+#[must_use]
+pub fn windows_module(server: &Arc<ClamServer>, version: Version) -> Arc<dyn Module> {
+    let weak_desktop = Arc::downgrade(server);
+    let options = if version.major >= 2 {
+        V2_OPTIONS
+    } else {
+        V1_OPTIONS
+    };
+    let module = SimpleModule::new("windows", version)
+        .with_class(ClassSpec::new(
+            "Desktop",
+            Arc::new(DesktopClass::<DesktopImpl>::new()),
+            Arc::new(move |_srv, args| {
+                let size = if args.is_empty() {
+                    DEFAULT_SCREEN
+                } else {
+                    clam_xdr::decode(args.as_slice())
+                        .map_err(|e| RpcError::status(StatusCode::BadArgs, e.to_string()))?
+                };
+                Ok(Arc::new(DesktopImpl::with_options(
+                    weak_desktop.clone(),
+                    size,
+                    options,
+                )))
+            }),
+        ))
+        .with_class(ClassSpec::new(
+            "Graphics3D",
+            Arc::new(Graphics3DClass::<Graphics3DImpl>::new()),
+            Arc::new(|_srv, args| {
+                let size = if args.is_empty() {
+                    DEFAULT_SCREEN
+                } else {
+                    clam_xdr::decode(args.as_slice())
+                        .map_err(|e| RpcError::status(StatusCode::BadArgs, e.to_string()))?
+                };
+                Ok(Arc::new(Graphics3DImpl::new(
+                    Screen::new(size, 0),
+                    0x00ff_ffff,
+                )))
+            }),
+        ));
+    Arc::new(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::MouseButton;
+
+    fn desktop() -> DesktopImpl {
+        DesktopImpl::new(Weak::new(), Size::new(200, 150))
+    }
+
+    #[test]
+    fn windows_are_created_and_painted() {
+        let d = desktop();
+        let id = d
+            .create_window(Rect::new(10, 10, 60, 40), "test".into())
+            .unwrap();
+        assert!(id.id > 0);
+        assert_eq!(d.window_count().unwrap(), 1);
+        assert_eq!(d.window_frame(id).unwrap(), Rect::new(10, 10, 60, 40));
+        // Chrome landed on the framebuffer.
+        assert!(d.count_pixels(crate::window::colors::TITLE_BAR as u32).unwrap() > 0);
+    }
+
+    #[test]
+    fn inject_routes_to_local_listeners() {
+        let d = desktop();
+        let id = d
+            .create_window(Rect::new(0, 0, 50, 50), "w".into())
+            .unwrap();
+        let hits = Arc::new(Mutex::new(0u32));
+        let h = Arc::clone(&hits);
+        d.with_state(|wm, _screen| {
+            wm.post_input(
+                id,
+                UpcallTarget::local(move |_we| {
+                    *h.lock() += 1;
+                    Ok(0)
+                }),
+            )
+            .unwrap();
+        });
+        let delivered = d
+            .inject(InputEvent::MouseMove(Point::new(25, 25)))
+            .unwrap();
+        assert_eq!(delivered, 1);
+        assert_eq!(*hits.lock(), 1);
+    }
+
+    #[test]
+    fn sweep_consumes_moves_and_creates_a_window() {
+        let d = desktop();
+        d.begin_sweep(1, ProcId::NULL).unwrap();
+        let script = crate::input::sweep_script(Point::new(20, 20), Point::new(80, 70), 5);
+        let mut total_delivered = 0;
+        for ev in script {
+            total_delivered += d.inject(ev).unwrap();
+        }
+        assert_eq!(total_delivered, 0, "no remote completion registered");
+        assert_eq!(d.window_count().unwrap(), 1, "sweep created the window");
+        assert_eq!(
+            d.window_frame(WindowId { id: 1 }).unwrap(),
+            Rect::new(20, 20, 60, 50)
+        );
+    }
+
+    #[test]
+    fn sweep_is_one_shot() {
+        let d = desktop();
+        d.begin_sweep(1, ProcId::NULL).unwrap();
+        for ev in crate::input::sweep_script(Point::new(0, 0), Point::new(30, 30), 2) {
+            d.inject(ev).unwrap();
+        }
+        assert_eq!(d.window_count().unwrap(), 1);
+        // A second gesture routes normally (no sweep armed).
+        for ev in crate::input::sweep_script(Point::new(40, 40), Point::new(60, 60), 2) {
+            d.inject(ev).unwrap();
+        }
+        assert_eq!(d.window_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn unclaimed_events_are_reported() {
+        let d = desktop();
+        d.inject(InputEvent::Key(7)).unwrap();
+        assert_eq!(d.take_unclaimed().unwrap(), vec![InputEvent::Key(7)]);
+    }
+
+    #[test]
+    fn destroy_and_move_and_raise() {
+        let d = desktop();
+        let a = d
+            .create_window(Rect::new(0, 0, 40, 40), "a".into())
+            .unwrap();
+        let b = d
+            .create_window(Rect::new(20, 20, 40, 40), "b".into())
+            .unwrap();
+        d.move_window(a, Point::new(5, 5)).unwrap();
+        assert_eq!(d.window_frame(a).unwrap().origin, Point::new(5, 5));
+        assert!(d.raise_window(a).unwrap());
+        // Click-through at the overlap now hits a.
+        d.with_state(|wm, _| {
+            assert_eq!(wm.window_at(Point::new(30, 30)), Some(a));
+        });
+        assert!(d.destroy_window(b).unwrap());
+        assert_eq!(d.window_count().unwrap(), 1);
+        assert!(d.move_window(b, Point::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn mouse_down_with_no_sweep_focuses() {
+        let d = desktop();
+        let id = d
+            .create_window(Rect::new(0, 0, 50, 50), "w".into())
+            .unwrap();
+        d.inject(InputEvent::MouseDown(Point::new(10, 10), MouseButton::Left))
+            .unwrap();
+        d.with_state(|wm, _| assert_eq!(wm.focus(), Some(id)));
+    }
+
+    #[test]
+    fn redraw_clears_stale_pixels() {
+        let d = desktop();
+        let id = d
+            .create_window(Rect::new(0, 0, 50, 50), "w".into())
+            .unwrap();
+        d.move_window(id, Point::new(100, 100)).unwrap();
+        d.redraw().unwrap();
+        // The old location is background again.
+        assert_eq!(d.pixel(Point::new(1, 1)).unwrap(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The screen class — the lowest layer (Figure 4.1's `screen`).
+//!
+//! **Substitution note** (DESIGN.md): the paper drives a Microvax
+//! workstation display; we back the screen with an in-memory framebuffer
+//! plus damage tracking. The layer structure above it — which is what the
+//! paper is about — is unchanged.
+
+use crate::geometry::{Point, Rect, Size};
+
+/// 32-bit pixel, `0xRRGGBB`-style; the exact channel meaning is up to the
+/// caller, the screen just stores values.
+pub type Pixel = u32;
+
+/// An in-memory framebuffer with clipped drawing and damage tracking.
+#[derive(Debug, Clone)]
+pub struct Screen {
+    size: Size,
+    pixels: Vec<Pixel>,
+    damage: Vec<Rect>,
+    background: Pixel,
+}
+
+impl Screen {
+    /// A screen of the given size, cleared to `background`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-area screen.
+    #[must_use]
+    pub fn new(size: Size, background: Pixel) -> Screen {
+        assert!(!size.is_empty(), "screen must have area");
+        Screen {
+            size,
+            pixels: vec![background; size.area() as usize],
+            damage: Vec::new(),
+            background,
+        }
+    }
+
+    /// The screen's size.
+    #[must_use]
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// The full-screen rectangle.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.size.width, self.size.height)
+    }
+
+    /// Read one pixel; `None` outside the screen.
+    #[must_use]
+    pub fn pixel(&self, p: Point) -> Option<Pixel> {
+        if !self.bounds().contains(p) {
+            return None;
+        }
+        Some(self.pixels[self.index(p)])
+    }
+
+    fn index(&self, p: Point) -> usize {
+        p.y as usize * self.size.width as usize + p.x as usize
+    }
+
+    /// Set one pixel, clipped to the screen.
+    pub fn put_pixel(&mut self, p: Point, value: Pixel) {
+        if self.bounds().contains(p) {
+            let idx = self.index(p);
+            self.pixels[idx] = value;
+            self.damage.push(Rect::new(p.x, p.y, 1, 1));
+        }
+    }
+
+    /// Fill a rectangle, clipped to the screen.
+    pub fn fill_rect(&mut self, rect: Rect, value: Pixel) {
+        let Some(clipped) = rect.intersect(self.bounds()) else {
+            return;
+        };
+        for y in clipped.top()..clipped.bottom() {
+            let row = y as usize * self.size.width as usize;
+            let x0 = clipped.left() as usize;
+            let x1 = clipped.right() as usize;
+            self.pixels[row + x0..row + x1].fill(value);
+        }
+        self.damage.push(clipped);
+    }
+
+    /// Draw a one-pixel rectangle outline, clipped.
+    pub fn draw_rect(&mut self, rect: Rect, value: Pixel) {
+        if rect.is_empty() {
+            return;
+        }
+        let w = rect.size.width;
+        let h = rect.size.height;
+        self.fill_rect(Rect::new(rect.left(), rect.top(), w, 1), value);
+        self.fill_rect(Rect::new(rect.left(), rect.bottom() - 1, w, 1), value);
+        self.fill_rect(Rect::new(rect.left(), rect.top(), 1, h), value);
+        self.fill_rect(Rect::new(rect.right() - 1, rect.top(), 1, h), value);
+    }
+
+    /// XOR a rectangle outline — the classic rubber-band trick: drawing
+    /// the same outline twice restores the screen, which is what the
+    /// sweep layer relies on.
+    pub fn xor_rect(&mut self, rect: Rect, mask: Pixel) {
+        if rect.is_empty() {
+            return;
+        }
+        let bounds = self.bounds();
+        let mut flip = |p: Point| {
+            if bounds.contains(p) {
+                let idx = p.y as usize * self.size.width as usize + p.x as usize;
+                self.pixels[idx] ^= mask;
+            }
+        };
+        for x in rect.left()..rect.right() {
+            flip(Point::new(x, rect.top()));
+            if rect.size.height > 1 {
+                flip(Point::new(x, rect.bottom() - 1));
+            }
+        }
+        for y in rect.top() + 1..rect.bottom() - 1 {
+            flip(Point::new(rect.left(), y));
+            if rect.size.width > 1 {
+                flip(Point::new(rect.right() - 1, y));
+            }
+        }
+        if let Some(clipped) = rect.intersect(bounds) {
+            self.damage.push(clipped);
+        }
+    }
+
+    /// Draw a line with Bresenham's algorithm, clipped per pixel.
+    pub fn draw_line(&mut self, from: Point, to: Point, value: Pixel) {
+        let (mut x0, mut y0) = (from.x, from.y);
+        let (x1, y1) = (to.x, to.y);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.put_pixel(Point::new(x0, y0), value);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Clear to the background color.
+    pub fn clear(&mut self) {
+        self.pixels.fill(self.background);
+        self.damage.push(self.bounds());
+    }
+
+    /// Damage rectangles accumulated since the last
+    /// [`take_damage`](Screen::take_damage).
+    #[must_use]
+    pub fn damage(&self) -> &[Rect] {
+        &self.damage
+    }
+
+    /// Take and reset the damage list, returning its union (what a
+    /// compositor would repaint).
+    pub fn take_damage(&mut self) -> Rect {
+        let total = self
+            .damage
+            .drain(..)
+            .fold(Rect::default(), |acc, r| acc.union(r));
+        total
+    }
+
+    /// Count pixels with the given value (test/diagnostic helper).
+    #[must_use]
+    pub fn count_pixels(&self, value: Pixel) -> usize {
+        self.pixels.iter().filter(|&&p| p == value).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn screen() -> Screen {
+        Screen::new(Size::new(20, 10), 0)
+    }
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut s = screen();
+        s.fill_rect(Rect::new(2, 3, 4, 2), 7);
+        assert_eq!(s.pixel(Point::new(2, 3)), Some(7));
+        assert_eq!(s.pixel(Point::new(5, 4)), Some(7));
+        assert_eq!(s.pixel(Point::new(6, 4)), Some(0));
+        assert_eq!(s.count_pixels(7), 8);
+    }
+
+    #[test]
+    fn drawing_is_clipped_to_screen() {
+        let mut s = screen();
+        s.fill_rect(Rect::new(-5, -5, 10, 10), 9);
+        // Only the overlapping 5x5 corner was painted.
+        assert_eq!(s.count_pixels(9), 25);
+        assert_eq!(s.pixel(Point::new(100, 100)), None);
+        s.put_pixel(Point::new(-1, 0), 3); // silently clipped
+        assert_eq!(s.count_pixels(3), 0);
+    }
+
+    #[test]
+    fn rect_outline_touches_only_the_border() {
+        let mut s = screen();
+        s.draw_rect(Rect::new(1, 1, 4, 3), 5);
+        // Perimeter of 4x3 = 2*4 + 2*3 - 4 = 10 pixels.
+        assert_eq!(s.count_pixels(5), 10);
+        assert_eq!(s.pixel(Point::new(2, 2)), Some(0), "interior untouched");
+    }
+
+    #[test]
+    fn xor_twice_restores_the_screen() {
+        let mut s = screen();
+        s.fill_rect(Rect::new(0, 0, 20, 10), 0x1234);
+        let before = s.clone();
+        let band = Rect::new(3, 2, 8, 5);
+        s.xor_rect(band, 0xffff);
+        assert_ne!(s.count_pixels(0x1234), before.count_pixels(0x1234));
+        s.xor_rect(band, 0xffff);
+        for y in 0..10 {
+            for x in 0..20 {
+                let p = Point::new(x, y);
+                assert_eq!(s.pixel(p), before.pixel(p));
+            }
+        }
+    }
+
+    #[test]
+    fn lines_connect_endpoints() {
+        let mut s = screen();
+        s.draw_line(Point::new(0, 0), Point::new(5, 5), 2);
+        assert_eq!(s.pixel(Point::new(0, 0)), Some(2));
+        assert_eq!(s.pixel(Point::new(5, 5)), Some(2));
+        assert_eq!(s.count_pixels(2), 6, "diagonal line has 6 pixels");
+        s.draw_line(Point::new(0, 9), Point::new(19, 9), 3);
+        assert_eq!(s.count_pixels(3), 20, "horizontal spans the row");
+    }
+
+    #[test]
+    fn damage_accumulates_and_unions() {
+        let mut s = screen();
+        assert!(s.damage().is_empty());
+        s.fill_rect(Rect::new(0, 0, 2, 2), 1);
+        s.fill_rect(Rect::new(5, 5, 2, 2), 1);
+        assert_eq!(s.damage().len(), 2);
+        let union = s.take_damage();
+        assert_eq!(union, Rect::new(0, 0, 7, 7));
+        assert!(s.damage().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_to_background() {
+        let mut s = Screen::new(Size::new(4, 4), 0xAA);
+        s.fill_rect(Rect::new(0, 0, 4, 4), 1);
+        s.clear();
+        assert_eq!(s.count_pixels(0xAA), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "area")]
+    fn zero_size_screen_is_rejected() {
+        let _ = Screen::new(Size::new(0, 10), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal text rendering: a procedural 5×7 bitmap font.
+//!
+//! The paper's window manager draws titles and menu labels; the exact
+//! glyph shapes are irrelevant to the system being reproduced, so glyphs
+//! outside a small hand-drawn set derive deterministically from the
+//! character code (stable across runs, distinct per character).
+
+use crate::geometry::{Point, Size};
+use crate::screen::{Pixel, Screen};
+
+/// Glyph cell width in pixels (5 columns + 1 spacing).
+pub const GLYPH_WIDTH: u32 = 6;
+/// Glyph cell height in pixels.
+pub const GLYPH_HEIGHT: u32 = 7;
+
+/// The font: maps characters to 5×7 bit patterns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Font;
+
+impl Font {
+    /// The 5×7 pattern for `c`: seven rows of five bits each (MSB =
+    /// leftmost column).
+    #[must_use]
+    pub fn glyph(c: char) -> [u8; 7] {
+        match c {
+            ' ' => [0; 7],
+            'A' | 'a' => [0x0e, 0x11, 0x11, 0x1f, 0x11, 0x11, 0x11],
+            'B' | 'b' => [0x1e, 0x11, 0x11, 0x1e, 0x11, 0x11, 0x1e],
+            'C' | 'c' => [0x0e, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0e],
+            'E' | 'e' => [0x1f, 0x10, 0x10, 0x1e, 0x10, 0x10, 0x1f],
+            'L' | 'l' => [0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1f],
+            'M' | 'm' => [0x11, 0x1b, 0x15, 0x15, 0x11, 0x11, 0x11],
+            'O' | 'o' => [0x0e, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0e],
+            'W' | 'w' => [0x11, 0x11, 0x11, 0x15, 0x15, 0x1b, 0x11],
+            '0'..='9' => {
+                let d = c as u8 - b'0';
+                let mut rows = [0x0e, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0e];
+                // Scatter the digit value into the middle rows so digits
+                // are mutually distinct.
+                rows[2] = 0x11 ^ (d << 1);
+                rows[3] = 0x11 ^ d;
+                rows[4] = 0x11 ^ (d.rotate_left(3) & 0x1f);
+                rows
+            }
+            other => {
+                // Deterministic procedural glyph for everything else.
+                let seed = other as u32;
+                let mut rows = [0u8; 7];
+                let mut h = seed.wrapping_mul(0x9e37_79b9) | 1;
+                for row in &mut rows {
+                    h ^= h << 13;
+                    h ^= h >> 17;
+                    h ^= h << 5;
+                    *row = (h & 0x1f) as u8;
+                }
+                // Never fully blank.
+                if rows.iter().all(|&r| r == 0) {
+                    rows[3] = 0x1f;
+                }
+                rows
+            }
+        }
+    }
+}
+
+/// Pixel size of a rendered string.
+#[must_use]
+pub fn measure_text(text: &str) -> Size {
+    let chars = text.chars().count() as u32;
+    if chars == 0 {
+        Size::new(0, 0)
+    } else {
+        Size::new(chars * GLYPH_WIDTH - 1, GLYPH_HEIGHT)
+    }
+}
+
+/// Draw `text` with its top-left at `origin`, clipped by the screen.
+pub fn draw_text(screen: &mut Screen, origin: Point, text: &str, color: Pixel) {
+    let mut x = origin.x;
+    for c in text.chars() {
+        let glyph = Font::glyph(c);
+        for (row, bits) in glyph.iter().enumerate() {
+            for col in 0..5 {
+                if bits & (0x10 >> col) != 0 {
+                    screen.put_pixel(Point::new(x + col, origin.y + row as i32), color);
+                }
+            }
+        }
+        x += GLYPH_WIDTH as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    #[test]
+    fn glyphs_are_deterministic_and_nonblank() {
+        for c in ['A', 'z', '!', '字', '5'] {
+            let a = Font::glyph(c);
+            let b = Font::glyph(c);
+            assert_eq!(a, b);
+            if c != ' ' {
+                assert!(a.iter().any(|&r| r != 0), "glyph for {c:?} is blank");
+            }
+        }
+        assert_eq!(Font::glyph(' '), [0; 7]);
+    }
+
+    #[test]
+    fn distinct_digits_have_distinct_glyphs() {
+        for a in '0'..='9' {
+            for b in '0'..='9' {
+                if a != b {
+                    assert_ne!(Font::glyph(a), Font::glyph(b), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measure_matches_char_count() {
+        assert_eq!(measure_text(""), Size::new(0, 0));
+        assert_eq!(measure_text("A"), Size::new(5, 7));
+        assert_eq!(measure_text("AB"), Size::new(11, 7));
+    }
+
+    #[test]
+    fn drawing_puts_ink_on_the_screen() {
+        let mut s = Screen::new(Size::new(50, 20), 0);
+        draw_text(&mut s, Point::new(1, 1), "CLAM", 9);
+        assert!(s.count_pixels(9) > 20, "text leaves a visible mark");
+        // All ink is inside the measured box.
+        let measured = measure_text("CLAM");
+        let boxr = Rect::new(1, 1, measured.width, measured.height);
+        for y in 0..20 {
+            for x in 0..50 {
+                let p = Point::new(x, y);
+                if s.pixel(p) == Some(9) {
+                    assert!(boxr.contains(p), "ink outside the measured box at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drawing_clips_at_screen_edges() {
+        let mut s = Screen::new(Size::new(10, 5), 0);
+        draw_text(&mut s, Point::new(7, 3), "WW", 4);
+        // No panic, and some ink landed in the visible corner.
+        assert!(s.count_pixels(4) > 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The window class — the abstraction layered over the screen
+//! (Figure 4.1's `window`).
+
+use crate::geometry::{Point, Rect};
+use crate::screen::{Pixel, Screen};
+use crate::text::draw_text;
+
+clam_xdr::bundle_struct! {
+    /// Identifier of a window within its manager.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+    pub struct WindowId {
+        /// The raw id; 0 never names a window.
+        pub id: u64,
+    }
+}
+
+/// Pixel constants used by window chrome.
+pub mod colors {
+    use crate::screen::Pixel;
+
+    /// Window interior.
+    pub const BACKGROUND: Pixel = 0x00ff_ffff;
+    /// Window border.
+    pub const BORDER: Pixel = 0x0000_0000;
+    /// Title bar fill.
+    pub const TITLE_BAR: Pixel = 0x0040_60a0;
+    /// Title text.
+    pub const TITLE_TEXT: Pixel = 0x00ff_ffff;
+    /// Focused border highlight.
+    pub const FOCUSED: Pixel = 0x00c0_4040;
+}
+
+/// Height of the title bar in pixels.
+pub const TITLE_BAR_HEIGHT: u32 = 12;
+
+/// One window: geometry, decoration, visibility.
+#[derive(Debug, Clone)]
+pub struct Window {
+    id: WindowId,
+    frame: Rect,
+    title: String,
+    background: Pixel,
+    border_width: u32,
+    visible: bool,
+    focused: bool,
+}
+
+impl Window {
+    /// Create a window with default chrome.
+    #[must_use]
+    pub fn new(id: WindowId, frame: Rect, title: impl Into<String>) -> Window {
+        Window {
+            id,
+            frame,
+            title: title.into(),
+            background: colors::BACKGROUND,
+            border_width: 1,
+            visible: true,
+            focused: false,
+        }
+    }
+
+    /// The window's id.
+    #[must_use]
+    pub fn id(&self) -> WindowId {
+        self.id
+    }
+
+    /// The window's outer frame (border included).
+    #[must_use]
+    pub fn frame(&self) -> Rect {
+        self.frame
+    }
+
+    /// The client area: frame minus border and title bar.
+    #[must_use]
+    pub fn client_area(&self) -> Rect {
+        let inner = self.frame.inset(self.border_width);
+        Rect::new(
+            inner.left(),
+            inner.top() + TITLE_BAR_HEIGHT as i32,
+            inner.size.width,
+            inner.size.height.saturating_sub(TITLE_BAR_HEIGHT),
+        )
+    }
+
+    /// The window's title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Rename the window.
+    pub fn set_title(&mut self, title: impl Into<String>) {
+        self.title = title.into();
+    }
+
+    /// Background fill for the client area.
+    pub fn set_background(&mut self, pixel: Pixel) {
+        self.background = pixel;
+    }
+
+    /// Is the window drawn and hit-testable?
+    #[must_use]
+    pub fn is_visible(&self) -> bool {
+        self.visible
+    }
+
+    /// Show or hide.
+    pub fn set_visible(&mut self, visible: bool) {
+        self.visible = visible;
+    }
+
+    /// Focus state (drives border highlight).
+    #[must_use]
+    pub fn is_focused(&self) -> bool {
+        self.focused
+    }
+
+    pub(crate) fn set_focused(&mut self, focused: bool) {
+        self.focused = focused;
+    }
+
+    /// Move the window so its frame origin is `to`.
+    pub fn move_to(&mut self, to: Point) {
+        self.frame.origin = to;
+    }
+
+    /// Translate the window.
+    pub fn move_by(&mut self, dx: i32, dy: i32) {
+        self.frame = self.frame.offset(dx, dy);
+    }
+
+    /// Resize the outer frame.
+    pub fn resize(&mut self, width: u32, height: u32) {
+        self.frame.size.width = width;
+        self.frame.size.height = height;
+    }
+
+    /// Does a screen point land in this window (border included)?
+    #[must_use]
+    pub fn hit(&self, p: Point) -> bool {
+        self.visible && self.frame.contains(p)
+    }
+
+    /// Convert a screen point to client-area coordinates, if inside.
+    #[must_use]
+    pub fn to_client(&self, p: Point) -> Option<Point> {
+        let client = self.client_area();
+        if client.contains(p) {
+            Some(Point::new(p.x - client.left(), p.y - client.top()))
+        } else {
+            None
+        }
+    }
+
+    /// Paint the window onto a screen: border, title bar, title text,
+    /// client background. Invisible windows draw nothing.
+    pub fn draw(&self, screen: &mut Screen) {
+        if !self.visible {
+            return;
+        }
+        let border = if self.focused {
+            colors::FOCUSED
+        } else {
+            colors::BORDER
+        };
+        for i in 0..self.border_width {
+            screen.draw_rect(self.frame.inset(i), border);
+        }
+        let inner = self.frame.inset(self.border_width);
+        let title_bar = Rect::new(
+            inner.left(),
+            inner.top(),
+            inner.size.width,
+            TITLE_BAR_HEIGHT.min(inner.size.height),
+        );
+        screen.fill_rect(title_bar, colors::TITLE_BAR);
+        draw_text(
+            screen,
+            Point::new(title_bar.left() + 2, title_bar.top() + 2),
+            &self.title,
+            colors::TITLE_TEXT,
+        );
+        screen.fill_rect(self.client_area(), self.background);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Size;
+
+    fn window() -> Window {
+        Window::new(WindowId { id: 1 }, Rect::new(10, 10, 40, 30), "w")
+    }
+
+    #[test]
+    fn client_area_excludes_chrome() {
+        let w = window();
+        let client = w.client_area();
+        assert_eq!(client.left(), 11);
+        assert_eq!(client.top(), 11 + TITLE_BAR_HEIGHT as i32);
+        assert_eq!(client.size.width, 38);
+        assert_eq!(client.size.height, 28 - TITLE_BAR_HEIGHT);
+    }
+
+    #[test]
+    fn hit_testing_respects_visibility() {
+        let mut w = window();
+        let inside = Point::new(15, 15);
+        assert!(w.hit(inside));
+        w.set_visible(false);
+        assert!(!w.hit(inside));
+        assert!(!w.is_visible());
+    }
+
+    #[test]
+    fn to_client_translates_coordinates() {
+        let w = window();
+        let client = w.client_area();
+        let p = Point::new(client.left() + 3, client.top() + 4);
+        assert_eq!(w.to_client(p), Some(Point::new(3, 4)));
+        assert_eq!(w.to_client(Point::new(10, 10)), None, "border is not client");
+    }
+
+    #[test]
+    fn movement_and_resize_update_frame() {
+        let mut w = window();
+        w.move_by(5, -5);
+        assert_eq!(w.frame().origin, Point::new(15, 5));
+        w.move_to(Point::new(0, 0));
+        assert_eq!(w.frame().origin, Point::new(0, 0));
+        w.resize(20, 20);
+        assert_eq!(w.frame().size, Size::new(20, 20));
+    }
+
+    #[test]
+    fn drawing_paints_chrome_and_client() {
+        let mut screen = Screen::new(Size::new(100, 100), 0x11);
+        let w = window();
+        w.draw(&mut screen);
+        // Border corner pixel.
+        assert_eq!(screen.pixel(Point::new(10, 10)), Some(colors::BORDER));
+        // Title bar pixel (right side, away from any title glyphs).
+        assert_eq!(
+            screen.pixel(Point::new(45, 12)),
+            Some(colors::TITLE_BAR)
+        );
+        // Client pixel.
+        let c = w.client_area();
+        assert_eq!(
+            screen.pixel(Point::new(c.left() + 1, c.top() + 1)),
+            Some(colors::BACKGROUND)
+        );
+    }
+
+    #[test]
+    fn hidden_windows_draw_nothing() {
+        let mut screen = Screen::new(Size::new(100, 100), 0x11);
+        let mut w = window();
+        w.set_visible(false);
+        w.draw(&mut screen);
+        assert_eq!(screen.count_pixels(0x11), 100 * 100);
+    }
+
+    #[test]
+    fn focus_changes_border_color() {
+        let mut screen = Screen::new(Size::new(100, 100), 0x11);
+        let mut w = window();
+        w.set_focused(true);
+        assert!(w.is_focused());
+        w.draw(&mut screen);
+        assert_eq!(screen.pixel(Point::new(10, 10)), Some(colors::FOCUSED));
+    }
+
+    #[test]
+    fn window_ids_bundle() {
+        let id = WindowId { id: 77 };
+        let bytes = clam_xdr::encode(&id).unwrap();
+        assert_eq!(clam_xdr::decode::<WindowId>(&bytes).unwrap(), id);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the geometry substrate and layout policies.
+
+use clam_windows::layout::{layout, LayoutPolicy};
+use clam_windows::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-200i32..200, -200i32..200).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-100i32..100, -100i32..100, 0u32..150, 0u32..150)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        if let Some(i) = a.intersect(b) {
+            prop_assert!(!i.is_empty());
+            prop_assert!(i.left() >= a.left() && i.right() <= a.right());
+            prop_assert!(i.left() >= b.left() && i.right() <= b.right());
+            prop_assert!(i.top() >= a.top() && i.bottom() <= a.bottom());
+            prop_assert!(i.top() >= b.top() && i.bottom() <= b.bottom());
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        for r in [a, b] {
+            if !r.is_empty() {
+                prop_assert!(u.left() <= r.left());
+                prop_assert!(u.top() <= r.top());
+                prop_assert!(u.right() >= r.right());
+                prop_assert!(u.bottom() >= r.bottom());
+            }
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_intersect(r in arb_rect(), p in arb_point()) {
+        let unit = Rect::new(p.x, p.y, 1, 1);
+        prop_assert_eq!(r.contains(p), r.intersect(unit).is_some());
+    }
+
+    #[test]
+    fn from_corners_order_independent(a in arb_point(), b in arb_point()) {
+        let r1 = Rect::from_corners(a, b);
+        let r2 = Rect::from_corners(b, a);
+        prop_assert_eq!(r1, r2);
+        // Both corners are inside-or-on-boundary of the rect.
+        if !r1.is_empty() {
+            prop_assert!(r1.contains(Point::new(
+                a.x.min(b.x),
+                a.y.min(b.y),
+            )));
+        }
+    }
+
+    #[test]
+    fn geometry_bundles_round_trip(r in arb_rect(), p in arb_point()) {
+        let bytes = clam_xdr::encode(&r).unwrap();
+        prop_assert_eq!(clam_xdr::decode::<Rect>(&bytes).unwrap(), r);
+        let bytes = clam_xdr::encode(&p).unwrap();
+        prop_assert_eq!(clam_xdr::decode::<Point>(&bytes).unwrap(), p);
+    }
+
+    /// Every layout policy yields `count` frames, pairwise disjoint,
+    /// inside the bounds.
+    #[test]
+    fn layouts_are_disjoint_and_bounded(
+        count in 0usize..14,
+        gap in 0u32..4,
+        policy_idx in 0usize..4,
+    ) {
+        let bounds = Rect::new(0, 0, 400, 300);
+        let policy = [
+            LayoutPolicy::Grid,
+            LayoutPolicy::Columns,
+            LayoutPolicy::Rows,
+            LayoutPolicy::MainAndStack,
+        ][policy_idx];
+        let frames = layout(bounds, count, policy, gap);
+        prop_assert_eq!(frames.len(), count);
+        for (i, a) in frames.iter().enumerate() {
+            if !a.is_empty() {
+                prop_assert_eq!(a.intersect(bounds), Some(*a), "frame escapes bounds");
+            }
+            for b in &frames[i + 1..] {
+                prop_assert_eq!(a.intersect(*b), None, "frames overlap");
+            }
+        }
+    }
+}

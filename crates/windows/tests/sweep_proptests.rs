@@ -1,0 +1,106 @@
+//! Property tests for the sweep state machine: arbitrary event streams
+//! never panic, never leak rubber-band pixels, and produce at most one
+//! completion per press/release pair.
+
+use clam_windows::events::{InputEvent, MouseButton};
+use clam_windows::sweep::{SweepLayer, SweepOptions, SweepOutcome};
+use clam_windows::{Point, Screen, Size};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = InputEvent> {
+    let point = (-20i32..120, -20i32..120).prop_map(|(x, y)| Point::new(x, y));
+    let button = prop_oneof![
+        Just(MouseButton::Left),
+        Just(MouseButton::Middle),
+        Just(MouseButton::Right)
+    ];
+    prop_oneof![
+        4 => point.clone().prop_map(InputEvent::MouseMove),
+        2 => (point.clone(), button.clone()).prop_map(|(p, b)| InputEvent::MouseDown(p, b)),
+        2 => (point, button).prop_map(|(p, b)| InputEvent::MouseUp(p, b)),
+        1 => (0u32..255).prop_map(InputEvent::Key),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary streams never panic and, once the layer is idle again,
+    /// the screen holds no band residue (every XOR undone).
+    #[test]
+    fn band_is_always_cleaned_up(
+        events in proptest::collection::vec(arb_event(), 0..64),
+        grid in 1u32..16,
+    ) {
+        let mut layer = SweepLayer::new(SweepOptions {
+            grid,
+            show_band: true,
+        });
+        let mut screen = Screen::new(Size::new(100, 100), 0x42);
+        for ev in events {
+            let _ = layer.handle_event(&mut screen, ev);
+        }
+        // Force the drag to finish if one is still open.
+        if layer.is_dragging() {
+            let _ = layer.handle_event(
+                &mut screen,
+                InputEvent::MouseUp(Point::new(0, 0), MouseButton::Left),
+            );
+        }
+        prop_assert!(!layer.is_dragging());
+        prop_assert_eq!(
+            screen.count_pixels(0x42),
+            100 * 100,
+            "xor residue left on screen"
+        );
+    }
+
+    /// A well-formed gesture (down, moves, up with area) always completes
+    /// with the snapped bounding rectangle of the press/release corners.
+    #[test]
+    fn gestures_complete_with_the_snapped_rect(
+        from in (0i32..80, 0i32..80).prop_map(|(x, y)| Point::new(x, y)),
+        to in (0i32..80, 0i32..80).prop_map(|(x, y)| Point::new(x, y)),
+        moves in proptest::collection::vec(
+            (0i32..100, 0i32..100).prop_map(|(x, y)| Point::new(x, y)),
+            0..16,
+        ),
+    ) {
+        prop_assume!(from.x != to.x && from.y != to.y);
+        let mut layer = SweepLayer::new(SweepOptions { grid: 1, show_band: true });
+        let mut screen = Screen::new(Size::new(100, 100), 0);
+        layer.handle_event(&mut screen, InputEvent::MouseDown(from, MouseButton::Left));
+        for p in moves {
+            layer.handle_event(&mut screen, InputEvent::MouseMove(p));
+        }
+        let outcome =
+            layer.handle_event(&mut screen, InputEvent::MouseUp(to, MouseButton::Left));
+        prop_assert_eq!(
+            outcome,
+            SweepOutcome::Completed(clam_windows::Rect::from_corners(from, to))
+        );
+    }
+
+    /// Completions never outnumber left-button presses.
+    #[test]
+    fn at_most_one_completion_per_press(
+        events in proptest::collection::vec(arb_event(), 0..64),
+    ) {
+        let mut layer = SweepLayer::default();
+        let mut screen = Screen::new(Size::new(100, 100), 0);
+        let mut presses = 0usize;
+        let mut completions = 0usize;
+        for ev in events {
+            if matches!(ev, InputEvent::MouseDown(_, MouseButton::Left)) {
+                presses += 1;
+            }
+            if matches!(
+                layer.handle_event(&mut screen, ev),
+                SweepOutcome::Completed(_)
+            ) {
+                completions += 1;
+            }
+        }
+        prop_assert!(completions <= presses);
+    }
+}

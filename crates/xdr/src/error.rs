@@ -1,0 +1,131 @@
+//! Error type for XDR bundling.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type XdrResult<T> = Result<T, XdrError>;
+
+/// An error raised while bundling or unbundling data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XdrError {
+    /// The decode stream ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that remained on the stream.
+        remaining: usize,
+    },
+    /// A length prefix exceeded the stream's configured maximum.
+    LengthTooLarge {
+        /// The length read from the stream.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// A boolean field held a value other than 0 or 1.
+    InvalidBool(u32),
+    /// An enum discriminant did not correspond to any known variant.
+    InvalidDiscriminant {
+        /// Name of the enum being decoded.
+        type_name: &'static str,
+        /// The unrecognized discriminant.
+        value: u32,
+    },
+    /// A string field did not hold valid UTF-8.
+    InvalidUtf8,
+    /// Padding bytes were not zero; the stream is misframed or corrupt.
+    NonZeroPadding,
+    /// A fixed-size array bundler was given a slice of the wrong length.
+    FixedLengthMismatch {
+        /// The expected number of elements.
+        expected: usize,
+        /// The number of elements actually supplied.
+        actual: usize,
+    },
+    /// A bundler was asked to encode from an empty (`None`) slot.
+    MissingValue(&'static str),
+    /// A user-defined bundler reported a domain-specific failure.
+    Custom(String),
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of XDR stream: needed {needed} bytes, {remaining} remain"
+            ),
+            XdrError::LengthTooLarge { len, max } => {
+                write!(f, "length prefix {len} exceeds maximum {max}")
+            }
+            XdrError::InvalidBool(v) => write!(f, "invalid boolean value {v}"),
+            XdrError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for enum {type_name}")
+            }
+            XdrError::InvalidUtf8 => write!(f, "string field was not valid utf-8"),
+            XdrError::NonZeroPadding => write!(f, "padding bytes were not zero"),
+            XdrError::FixedLengthMismatch { expected, actual } => write!(
+                f,
+                "fixed-length array expected {expected} elements, got {actual}"
+            ),
+            XdrError::MissingValue(ty) => {
+                write!(f, "bundler asked to encode an absent value of type {ty}")
+            }
+            XdrError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = XdrError::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("needed 8"));
+        assert!(msg.contains("3 remain"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(XdrError::InvalidUtf8);
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_every_variant() {
+        let variants: Vec<XdrError> = vec![
+            XdrError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            },
+            XdrError::LengthTooLarge { len: 10, max: 5 },
+            XdrError::InvalidBool(7),
+            XdrError::InvalidDiscriminant {
+                type_name: "T",
+                value: 9,
+            },
+            XdrError::InvalidUtf8,
+            XdrError::NonZeroPadding,
+            XdrError::FixedLengthMismatch {
+                expected: 3,
+                actual: 4,
+            },
+            XdrError::MissingValue("T"),
+            XdrError::Custom("boom".into()),
+        ];
+        for v in variants {
+            assert!(!format!("{v:?}").is_empty());
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Macros playing the role of the paper's modified C++ compiler: given a
+//! declaration, derive the bidirectional bundler.
+//!
+//! `bundle_struct!` handles "data structures containing only bundleable
+//! types" — the case the paper says the compiler bundles automatically.
+//! A field may override its bundler with `@ path::to::bundler`, the Rust
+//! rendering of the paper's in-place `@ pt_bundler()` annotation.
+//! `bundle_enum!` derives the bundler for C-like enums (a `u32`
+//! discriminant on the wire, validated on decode).
+
+/// Define a struct and derive its bidirectional [`Bundle`](crate::Bundle)
+/// impl from the field list.
+///
+/// ```rust
+/// fn always_seven(
+///     s: &mut clam_xdr::XdrStream<'_>,
+///     slot: &mut Option<u32>,
+/// ) -> clam_xdr::XdrResult<()> {
+///     // A user-defined bundler: ignores the value, sends 7.
+///     let mut v = 7u32;
+///     s.x_u32(&mut v)?;
+///     if s.is_decoding() {
+///         *slot = Some(v);
+///     }
+///     Ok(())
+/// }
+///
+/// clam_xdr::bundle_struct! {
+///     #[derive(Debug, Clone, PartialEq)]
+///     pub struct Sample {
+///         pub id: u64,
+///         pub name: String,
+///         pub lucky @ always_seven: u32,
+///     }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! bundle_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $(
+                $(#[$fmeta:meta])*
+                $fvis:vis $field:ident $(@ $bundler:path)? : $fty:ty
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis struct $name {
+            $(
+                $(#[$fmeta])*
+                $fvis $field : $fty,
+            )*
+        }
+
+        impl $crate::Bundle for $name {
+            fn bundle(
+                stream: &mut $crate::XdrStream<'_>,
+                slot: &mut Option<Self>,
+            ) -> $crate::XdrResult<()> {
+                if stream.is_decoding() {
+                    $(
+                        let $field : $fty = {
+                            let mut inner: Option<$fty> = None;
+                            $crate::bundle_struct!(@run stream, inner, $fty $(, $bundler)?);
+                            inner.ok_or($crate::XdrError::MissingValue(stringify!($fty)))?
+                        };
+                    )*
+                    *slot = Some($name { $($field,)* });
+                    Ok(())
+                } else {
+                    let value = slot
+                        .take()
+                        .ok_or($crate::XdrError::MissingValue(stringify!($name)))?;
+                    let $name { $($field,)* } = value;
+                    $(
+                        let $field = {
+                            let mut inner: Option<$fty> = Some($field);
+                            $crate::bundle_struct!(@run stream, inner, $fty $(, $bundler)?);
+                            inner.ok_or($crate::XdrError::MissingValue(stringify!($fty)))?
+                        };
+                    )*
+                    *slot = Some($name { $($field,)* });
+                    Ok(())
+                }
+            }
+        }
+    };
+
+    // Field with a user-specified bundler (the paper's `@ bundler()`).
+    (@run $stream:ident, $slot:ident, $fty:ty, $bundler:path) => {
+        $bundler($stream, &mut $slot)?;
+    };
+    // Field using the compiler-generated (trait) bundler.
+    (@run $stream:ident, $slot:ident, $fty:ty) => {
+        <$fty as $crate::Bundle>::bundle($stream, &mut $slot)?;
+    };
+}
+
+/// Define a C-like enum and derive its [`Bundle`](crate::Bundle) impl.
+/// The discriminant travels as a `u32`; unknown values fail decode with
+/// [`XdrError::InvalidDiscriminant`](crate::XdrError::InvalidDiscriminant).
+///
+/// ```rust
+/// clam_xdr::bundle_enum! {
+///     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///     pub enum Color { Red = 1, Green = 2, Blue = 3 }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! bundle_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident {
+            $(
+                $(#[$vmeta:meta])*
+                $variant:ident = $value:expr
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis enum $name {
+            $(
+                $(#[$vmeta])*
+                $variant = $value,
+            )*
+        }
+
+        impl $name {
+            /// The wire discriminant of this variant.
+            #[must_use]
+            $vis fn discriminant(self) -> u32 {
+                self as u32
+            }
+
+            /// Reconstruct a variant from its wire discriminant.
+            ///
+            /// # Errors
+            ///
+            /// Returns an invalid-discriminant error for unknown values.
+            $vis fn from_discriminant(value: u32) -> $crate::XdrResult<Self> {
+                match value {
+                    $(v if v == $value as u32 => Ok($name::$variant),)*
+                    other => Err($crate::XdrError::InvalidDiscriminant {
+                        type_name: stringify!($name),
+                        value: other,
+                    }),
+                }
+            }
+        }
+
+        impl $crate::Bundle for $name {
+            fn bundle(
+                stream: &mut $crate::XdrStream<'_>,
+                slot: &mut Option<Self>,
+            ) -> $crate::XdrResult<()> {
+                if stream.is_decoding() {
+                    let mut wire = 0u32;
+                    stream.x_u32(&mut wire)?;
+                    *slot = Some($name::from_discriminant(wire)?);
+                    Ok(())
+                } else {
+                    let v = slot
+                        .as_ref()
+                        .ok_or($crate::XdrError::MissingValue(stringify!($name)))?;
+                    let mut wire = v.discriminant();
+                    stream.x_u32(&mut wire)
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode, encode, Bundle, XdrError, XdrResult, XdrStream};
+
+    bundle_struct! {
+        /// The `Point` of the paper's Figure 3.1.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct Point {
+            pub x: i16,
+            pub y: i16,
+            pub z: i16,
+        }
+    }
+
+    bundle_struct! {
+        #[derive(Debug, Clone, PartialEq, Default)]
+        struct Nested {
+            origin: Point,
+            label: String,
+            weights: Vec<u32>,
+            maybe: Option<Point>,
+        }
+    }
+
+    fn clamped_bundler(s: &mut XdrStream<'_>, slot: &mut Option<i32>) -> XdrResult<()> {
+        if s.is_decoding() {
+            let mut wire = 0i32;
+            s.x_i32(&mut wire)?;
+            *slot = Some(wire.clamp(0, 100));
+        } else {
+            let v = slot.ok_or(XdrError::MissingValue("i32"))?;
+            let mut wire = v.clamp(0, 100);
+            s.x_i32(&mut wire)?;
+        }
+        Ok(())
+    }
+
+    bundle_struct! {
+        #[derive(Debug, Clone, PartialEq, Default)]
+        struct WithOverride {
+            plain: i32,
+            clamped @ clamped_bundler: i32,
+        }
+    }
+
+    bundle_enum! {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum Mode { Read = 0, Write = 1, Append = 5 }
+    }
+
+    #[test]
+    fn point_round_trips_like_figure_3_2() {
+        let p = Point { x: 1, y: -2, z: 3 };
+        let bytes = encode(&p).unwrap();
+        // Three shorts widened to 4 bytes each.
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(decode::<Point>(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn nested_struct_round_trips() {
+        let n = Nested {
+            origin: Point { x: 9, y: 8, z: 7 },
+            label: "corner".to_string(),
+            weights: vec![5, 10, 15],
+            maybe: Some(Point { x: 0, y: 0, z: 1 }),
+        };
+        let bytes = encode(&n).unwrap();
+        assert_eq!(decode::<Nested>(&bytes).unwrap(), n);
+    }
+
+    #[test]
+    fn in_place_bundler_overrides_the_generated_one() {
+        let w = WithOverride {
+            plain: 500,
+            clamped: 500,
+        };
+        let bytes = encode(&w).unwrap();
+        let back = decode::<WithOverride>(&bytes).unwrap();
+        assert_eq!(back.plain, 500);
+        assert_eq!(back.clamped, 100, "user bundler clamps on the wire");
+    }
+
+    #[test]
+    fn enum_round_trips_and_rejects_unknown() {
+        for m in [Mode::Read, Mode::Write, Mode::Append] {
+            let bytes = encode(&m).unwrap();
+            assert_eq!(bytes.len(), 4);
+            assert_eq!(decode::<Mode>(&bytes).unwrap(), m);
+        }
+        let bad = [0u8, 0, 0, 9];
+        assert!(matches!(
+            decode::<Mode>(&bad).unwrap_err(),
+            XdrError::InvalidDiscriminant {
+                type_name: "Mode",
+                value: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn enum_discriminants_match_declaration() {
+        assert_eq!(Mode::Append.discriminant(), 5);
+        assert_eq!(Mode::from_discriminant(5).unwrap(), Mode::Append);
+    }
+
+    #[test]
+    fn struct_bundler_is_bidirectional_single_code_path() {
+        // Encoding then decoding with the same impl (no separate
+        // serialize/deserialize) — checked by construction, asserted by a
+        // round trip at a nonzero stream offset.
+        let p = Point { x: 42, y: 0, z: -1 };
+        let mut e = XdrStream::encoder();
+        let mut pad = 0xdeadbeefu32;
+        e.x_u32(&mut pad).unwrap();
+        let mut slot = Some(p);
+        Point::bundle(&mut e, &mut slot).unwrap();
+        let bytes = e.into_bytes();
+
+        let mut d = XdrStream::decoder(&bytes);
+        let mut lead = 0u32;
+        d.x_u32(&mut lead).unwrap();
+        assert_eq!(lead, 0xdeadbeef);
+        let back = Point::decode_from(&mut d).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn macro_works_in_function_scope() {
+        bundle_struct! {
+            #[derive(Debug, Clone, PartialEq, Default)]
+            struct Local { a: u32 }
+        }
+        let v = Local { a: 3 };
+        let bytes = encode(&v).unwrap();
+        assert_eq!(decode::<Local>(&bytes).unwrap(), v);
+    }
+}

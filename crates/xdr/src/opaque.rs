@@ -1,0 +1,196 @@
+//! Bidirectional filters for opaque byte data and strings.
+
+use crate::error::{XdrError, XdrResult};
+use crate::stream::{Direction, XdrStream};
+
+impl<'a> XdrStream<'a> {
+    /// Bundle fixed-length opaque data. The length is *not* written to the
+    /// wire; both sides must agree on it (XDR `opaque v[n]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XdrError::UnexpectedEof`] on a truncated stream or
+    /// [`XdrError::NonZeroPadding`] if the alignment bytes are dirty.
+    pub fn x_opaque_fixed(&mut self, v: &mut [u8]) -> XdrResult<()> {
+        match self.direction() {
+            Direction::Encode => {
+                self.write_raw(v);
+                self.write_padding(v.len());
+                Ok(())
+            }
+            Direction::Decode => {
+                let len = v.len();
+                let raw = self.read_raw(len)?;
+                v.copy_from_slice(raw);
+                self.read_padding(len)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Bundle variable-length opaque data (XDR `opaque v<>`): a `u32`
+    /// length prefix followed by the bytes and padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XdrError::LengthTooLarge`] if the length prefix exceeds
+    /// [`max_len`](XdrStream::max_len), [`XdrError::UnexpectedEof`] on a
+    /// truncated stream, or [`XdrError::NonZeroPadding`] for dirty padding.
+    pub fn x_opaque(&mut self, v: &mut Vec<u8>) -> XdrResult<()> {
+        match self.direction() {
+            Direction::Encode => {
+                self.check_len(v.len())?;
+                let mut len = u32::try_from(v.len()).map_err(|_| XdrError::LengthTooLarge {
+                    len: v.len(),
+                    max: u32::MAX as usize,
+                })?;
+                self.x_u32(&mut len)?;
+                self.write_raw(v);
+                self.write_padding(v.len());
+                Ok(())
+            }
+            Direction::Decode => {
+                let mut len = 0u32;
+                self.x_u32(&mut len)?;
+                let len = len as usize;
+                self.check_len(len)?;
+                let raw = self.read_raw(len)?;
+                v.clear();
+                v.extend_from_slice(raw);
+                self.read_padding(len)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Bundle a UTF-8 string (XDR `string`): length prefix, bytes, padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XdrError::InvalidUtf8`] if the decoded bytes are not
+    /// UTF-8, plus the errors of [`x_opaque`](XdrStream::x_opaque).
+    pub fn x_string(&mut self, v: &mut String) -> XdrResult<()> {
+        match self.direction() {
+            Direction::Encode => {
+                let mut bytes = std::mem::take(v).into_bytes();
+                let result = self.x_opaque(&mut bytes);
+                // Give the caller their string back even on error.
+                *v = String::from_utf8(bytes).expect("encoding does not mutate the string");
+                result
+            }
+            Direction::Decode => {
+                let mut bytes = Vec::new();
+                self.x_opaque(&mut bytes)?;
+                *v = String::from_utf8(bytes).map_err(|_| XdrError::InvalidUtf8)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{XdrError, XdrStream};
+
+    #[test]
+    fn fixed_opaque_round_trips_without_length_prefix() {
+        let mut data = [1u8, 2, 3, 4, 5];
+        let mut e = XdrStream::encoder();
+        e.x_opaque_fixed(&mut data).unwrap();
+        let bytes = e.into_bytes();
+        // 5 data bytes + 3 padding, no prefix.
+        assert_eq!(bytes.len(), 8);
+
+        let mut out = [0u8; 5];
+        let mut d = XdrStream::decoder(&bytes);
+        d.x_opaque_fixed(&mut out).unwrap();
+        d.finish_decode().unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn variable_opaque_round_trips_with_length_prefix() {
+        let mut data = vec![9u8; 6];
+        let mut e = XdrStream::encoder();
+        e.x_opaque(&mut data).unwrap();
+        let bytes = e.into_bytes();
+        // 4 length + 6 data + 2 padding.
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(&bytes[..4], &[0, 0, 0, 6]);
+
+        let mut out = Vec::new();
+        let mut d = XdrStream::decoder(&bytes);
+        d.x_opaque(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn empty_opaque_is_just_a_length_word() {
+        let mut data: Vec<u8> = Vec::new();
+        let mut e = XdrStream::encoder();
+        e.x_opaque(&mut data).unwrap();
+        assert_eq!(e.into_bytes(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        // Claim 100 bytes follow but supply none.
+        let bytes = [0u8, 0, 0, 100];
+        let mut d = XdrStream::decoder(&bytes);
+        let mut out = Vec::new();
+        assert!(matches!(
+            d.x_opaque(&mut out).unwrap_err(),
+            XdrError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn length_cap_stops_huge_allocations() {
+        let bytes = [0xffu8, 0xff, 0xff, 0xff];
+        let mut d = XdrStream::decoder(&bytes);
+        d.set_max_len(1024);
+        let mut out = Vec::new();
+        assert!(matches!(
+            d.x_opaque(&mut out).unwrap_err(),
+            XdrError::LengthTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn strings_round_trip_including_unicode() {
+        for s in ["", "hello", "héllo wörld", "日本語テキスト"] {
+            let mut v = s.to_string();
+            let mut e = XdrStream::encoder();
+            e.x_string(&mut v).unwrap();
+            assert_eq!(v, s, "encoding must not mutate the string");
+            let bytes = e.into_bytes();
+            let mut out = String::new();
+            let mut d = XdrStream::decoder(&bytes);
+            d.x_string(&mut out).unwrap();
+            d.finish_decode().unwrap();
+            assert_eq!(out, s);
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_for_strings() {
+        // length 2, bytes [0xff, 0xfe], 2 pad bytes.
+        let bytes = [0u8, 0, 0, 2, 0xff, 0xfe, 0, 0];
+        let mut d = XdrStream::decoder(&bytes);
+        let mut out = String::new();
+        assert_eq!(d.x_string(&mut out).unwrap_err(), XdrError::InvalidUtf8);
+    }
+
+    #[test]
+    fn decode_overwrites_previous_contents() {
+        let mut data = vec![1u8, 2, 3];
+        let mut e = XdrStream::encoder();
+        e.x_opaque(&mut data).unwrap();
+        let bytes = e.into_bytes();
+
+        let mut out = vec![42u8; 17];
+        let mut d = XdrStream::decoder(&bytes);
+        d.x_opaque(&mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

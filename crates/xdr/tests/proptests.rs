@@ -1,0 +1,103 @@
+//! Property-based tests for the XDR substrate: every bundler must be a
+//! faithful round trip, every encoding 4-byte aligned, and corrupt input
+//! must never panic.
+
+use clam_xdr::{decode, encode, Bundle, Opaque, XdrStream};
+use proptest::prelude::*;
+
+clam_xdr::bundle_struct! {
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Mixed {
+        a: i32,
+        b: u64,
+        c: String,
+        d: Vec<i16>,
+        e: Option<bool>,
+        f: f64,
+    }
+}
+
+fn arb_mixed() -> impl Strategy<Value = Mixed> {
+    (
+        any::<i32>(),
+        any::<u64>(),
+        ".{0,64}",
+        proptest::collection::vec(any::<i16>(), 0..32),
+        proptest::option::of(any::<bool>()),
+        any::<f64>().prop_filter("NaN breaks PartialEq", |f| !f.is_nan()),
+    )
+        .prop_map(|(a, b, c, d, e, f)| Mixed { a, b, c, d, e, f })
+}
+
+proptest! {
+    #[test]
+    fn u32_round_trips(v in any::<u32>()) {
+        let bytes = encode(&v).unwrap();
+        prop_assert_eq!(bytes.len(), 4);
+        prop_assert_eq!(decode::<u32>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(decode::<i64>(&encode(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_round_trip(s in ".{0,128}") {
+        let v = s.to_string();
+        let bytes = encode(&v).unwrap();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        prop_assert_eq!(decode::<String>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn opaque_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let o = Opaque::from(data.clone());
+        let bytes = encode(&o).unwrap();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        prop_assert_eq!(decode::<Opaque>(&bytes).unwrap().into_inner(), data);
+    }
+
+    #[test]
+    fn vecs_of_u32_round_trip(v in proptest::collection::vec(any::<u32>(), 0..64)) {
+        prop_assert_eq!(decode::<Vec<u32>>(&encode(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn generated_struct_bundler_round_trips(m in arb_mixed()) {
+        let bytes = encode(&m).unwrap();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        prop_assert_eq!(decode::<Mixed>(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn corrupt_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Whatever the bytes, decoding returns Ok or Err — never panics.
+        let _ = decode::<Mixed>(&bytes);
+        let _ = decode::<String>(&bytes);
+        let _ = decode::<Vec<u32>>(&bytes);
+        let _ = decode::<Opaque>(&bytes);
+        let _ = decode::<Option<u64>>(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_encoding_errors_cleanly(m in arb_mixed(), cut in 0usize..32) {
+        let bytes = encode(&m).unwrap();
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut - 1];
+            prop_assert!(decode::<Mixed>(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_order(a in any::<u32>(), b in ".{0,32}", c in any::<i64>()) {
+        let mut buf = encode(&a).unwrap();
+        buf = clam_xdr::encode_into(&b.to_string(), buf).unwrap();
+        buf = clam_xdr::encode_into(&c, buf).unwrap();
+        let mut d = XdrStream::decoder(&buf);
+        prop_assert_eq!(u32::decode_from(&mut d).unwrap(), a);
+        prop_assert_eq!(String::decode_from(&mut d).unwrap(), b);
+        prop_assert_eq!(i64::decode_from(&mut d).unwrap(), c);
+        d.finish_decode().unwrap();
+    }
+}

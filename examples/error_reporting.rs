@@ -1,0 +1,70 @@
+//! Section 4.3's error reporting: the server catches a fault in
+//! dynamically loaded code and reports it to the client with an upcall
+//! from a freshly started task.
+//!
+//! Run with: `cargo run -p clam-examples --bin error_reporting`
+
+use clam_core::ErrorReport;
+use clam_examples::demo_rig;
+use clam_load::testing::{faulty_module, FaultyProxy};
+use clam_load::{Loader, Version};
+use clam_rpc::{StatusCode, Target};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let (server, client) = demo_rig("errors");
+    server
+        .loader()
+        .install(faulty_module())
+        .expect("install faulty module");
+
+    // The client registers its error handler — an upcall procedure the
+    // server will invoke from a new task when loaded code faults.
+    let reports: Arc<Mutex<Vec<ErrorReport>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&reports);
+    client
+        .set_error_handler(move |report: ErrorReport| {
+            println!(
+                "  ↑ error upcall: method {} faulted: {}",
+                report.method, report.message
+            );
+            log.lock().push(report);
+            Ok(())
+        })
+        .expect("register error handler");
+
+    // Load the buggy module and poke it.
+    let loader = client.loader();
+    let rep = loader
+        .load_module("faulty".into(), Version::new(1, 0))
+        .expect("load faulty");
+    let handle = loader
+        .create_object(rep.classes[0].class_id, clam_xdr::Opaque::new())
+        .expect("create faulty object");
+    let faulty = FaultyProxy::new(Arc::clone(client.caller()), Target::Object(handle));
+
+    println!("calling the buggy method…");
+    let err = faulty.explode().expect_err("the call must fail");
+    assert_eq!(err.status_code(), Some(StatusCode::Fault));
+    println!("RPC returned fault status (the server survived): {err}");
+
+    // The error-reporting upcall arrives asynchronously from a server
+    // task; wait briefly.
+    for _ in 0..200 {
+        if !reports.lock().is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let reports = reports.lock();
+    assert_eq!(reports.len(), 1, "one error report upcall");
+    assert!(reports[0].message.contains("injected fault"));
+
+    // The server is intact: the same object's healthy method still works.
+    use clam_load::testing::Faulty;
+    assert_eq!(faulty.ping().expect("ping after fault"), 0x600d);
+    println!("healthy method still works after the fault");
+    println!("\nerror_reporting OK");
+}

@@ -1,0 +1,122 @@
+//! Figure 4.1, live: `screen` → `BaseW` (window manager) → `user2`
+//! (loaded in the server) and `user1` (in the client process).
+//!
+//! Two windows are created. W2's events are handled by a layer living in
+//! the server's address space (local upcalls, plain procedure calls);
+//! W1's events are handled by this client process (distributed upcalls).
+//! The window manager cannot tell the difference — that is the paper's
+//! headline property.
+//!
+//! Run with: `cargo run -p clam-examples --bin input_pipeline`
+
+use clam_core::UpcallTarget;
+use clam_examples::{demo_rig, make_desktop};
+use clam_load::{ClassSpec, SimpleModule, Version};
+use clam_windows::module::Desktop;
+use clam_windows::wm::WindowEvent;
+use clam_windows::{InputEvent, MouseButton, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let (server, client) = demo_rig("pipeline");
+
+    // ── user2: a layer dynamically loaded INTO the server. Its module
+    //    registers a local upcall target directly on the desktop object
+    //    it is given (same address space → upcalls are procedure calls).
+    let user2_hits = Arc::new(AtomicU32::new(0));
+
+    // The desktop is created by the client as usual…
+    let desktop = make_desktop(&client);
+    let w1 = desktop
+        .create_window(Rect::new(10, 10, 120, 90), "W1 (client layer)".into())
+        .expect("w1");
+    let w2 = desktop
+        .create_window(Rect::new(200, 10, 120, 90), "W2 (server layer)".into())
+        .expect("w2");
+
+    // …and user2 is loaded server-side: a module whose on_load registers
+    // a LOCAL listener for W2 through the same registration machinery.
+    {
+        let hits = Arc::clone(&user2_hits);
+        // Reach the desktop object inside the server directly (we are
+        // the embedding program; a pure module would capture it at
+        // construction).
+        let handle = match desktop.target() {
+            clam_rpc::Target::Object(h) => h,
+            clam_rpc::Target::Builtin(_) => unreachable!("desktop is an object"),
+        };
+        let desktop_obj: Arc<clam_windows::module::DesktopImpl> = server
+            .rpc()
+            .objects()
+            .resolve(handle)
+            .expect("desktop object");
+        desktop_obj.with_state(|wm, _screen| {
+            wm.post_input(
+                w2,
+                UpcallTarget::local(move |we: WindowEvent| {
+                    println!("  [server/user2] local upcall: {:?}", we.event);
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    Ok(0)
+                }),
+            )
+            .expect("register user2");
+        });
+        // Install a marker module so the loader lists user2 (fidelity to
+        // "dynamically loaded": in a real deployment the closure above
+        // lives in this module's constructor).
+        server
+            .loader()
+            .install(Arc::new(SimpleModule::new("user2", Version::new(1, 0)).with_class(
+                ClassSpec::new(
+                    "User2",
+                    Arc::new(clam_windows::module::DesktopClass::<
+                        clam_windows::module::DesktopImpl,
+                    >::new()),
+                    Arc::new(|_s, _a| {
+                        Err(clam_rpc::RpcError::status(
+                            clam_rpc::StatusCode::AppError,
+                            "user2 is registration-only",
+                        ))
+                    }),
+                ),
+            )))
+            .expect("install user2");
+    }
+
+    // ── user1: this client process registers for W1's events — the
+    //    distributed path.
+    let user1_hits = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&user1_hits);
+    let user1_mouse = client.register_upcall(move |we: WindowEvent| {
+        println!("  [client/user1] distributed upcall: {:?}", we.event);
+        log.lock().push(we.event);
+        Ok(0u32)
+    });
+    desktop.post_input(w1, user1_mouse).expect("register user1");
+
+    // ── the mouse: events enter at the screen layer and propagate up.
+    println!("injecting events…");
+    let script = [
+        InputEvent::MouseMove(Point::new(50, 50)),    // → W1 → client
+        InputEvent::MouseMove(Point::new(250, 50)),   // → W2 → server
+        InputEvent::MouseDown(Point::new(60, 60), MouseButton::Left), // → W1
+        InputEvent::MouseUp(Point::new(60, 60), MouseButton::Left),   // → W1
+        InputEvent::MouseMove(Point::new(260, 60)),   // → W2
+        InputEvent::MouseMove(Point::new(400, 300)),  // → nobody: queued
+    ];
+    for event in script {
+        desktop.inject(event).expect("inject");
+    }
+
+    let queued = desktop.take_unclaimed().expect("unclaimed");
+    println!("\nuser1 (client) received : {}", user1_hits.lock().len());
+    println!("user2 (server) received : {}", user2_hits.load(Ordering::SeqCst));
+    println!("queued at the base layer: {}", queued.len());
+
+    assert_eq!(user1_hits.lock().len(), 3);
+    assert_eq!(user2_hits.load(Ordering::SeqCst), 2);
+    assert_eq!(queued.len(), 1);
+    println!("\ninput_pipeline OK");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the smallest complete CLAM program.
+//!
+//! Starts a server, connects a client over both channels, loads the
+//! window module dynamically, creates a window, registers an upcall
+//! procedure for its input, and injects a couple of events — watching
+//! them come back as distributed upcalls.
+//!
+//! Run with: `cargo run -p clam-examples --bin quickstart`
+
+use clam_examples::{demo_rig, make_desktop};
+use clam_windows::module::Desktop;
+use clam_windows::wm::WindowEvent;
+use clam_windows::{InputEvent, MouseButton, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Server + client (two channels each: RPC and upcalls).
+    let (server, client) = demo_rig("quickstart");
+    println!("server listening on {}", server.endpoints()[0]);
+
+    // 2. Dynamically load the window system and create a desktop.
+    let desktop = make_desktop(&client);
+    println!("loaded windows module; desktop created");
+
+    // 3. Create a window by RPC (the synchronous, downward direction).
+    let window = desktop
+        .create_window(Rect::new(10, 10, 200, 120), "hello".into())
+        .expect("create window");
+    println!("created window {window:?}");
+
+    // 4. Register an upcall procedure (the asynchronous, upward
+    //    direction). The closure runs in this client's upcall task.
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&received);
+    let proc_id = client.register_upcall(move |we: WindowEvent| {
+        log.lock().push(we.event);
+        Ok(0u32)
+    });
+    desktop
+        .post_input(window, proc_id)
+        .expect("register for window input");
+
+    // 5. Inject input at the lowest layer; it propagates upward through
+    //    the window manager and crosses the address-space boundary as a
+    //    distributed upcall.
+    for event in [
+        InputEvent::MouseMove(Point::new(50, 50)),
+        InputEvent::MouseDown(Point::new(50, 50), MouseButton::Left),
+        InputEvent::MouseUp(Point::new(52, 53), MouseButton::Left),
+    ] {
+        let delivered = desktop.inject(event).expect("inject");
+        println!("injected {event:?} -> {delivered} upcall target(s)");
+    }
+
+    let events = received.lock();
+    println!("\nclient received {} upcalls:", events.len());
+    for e in events.iter() {
+        println!("  {e:?}");
+    }
+    assert_eq!(events.len(), 3);
+    println!("\nquickstart OK");
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the runnable examples.
+
+use clam_core::{ClamClient, ClamServer, ServerConfig};
+use clam_load::{Loader, Version};
+use clam_net::Endpoint;
+use clam_rpc::Target;
+use clam_windows::module::{windows_module, DesktopProxy};
+use std::sync::Arc;
+
+/// Start a CLAM server on an in-process endpoint with the windows module
+/// installed, and connect one client to it.
+///
+/// # Panics
+///
+/// Panics on startup failure (examples are demos).
+#[must_use]
+pub fn demo_rig(name: &str) -> (Arc<ClamServer>, Arc<ClamClient>) {
+    let endpoint = Endpoint::in_proc(format!("example-{name}-{}", std::process::id()));
+    let server = ClamServer::builder()
+        .config(ServerConfig::default())
+        .listen(endpoint)
+        .build()
+        .expect("server starts");
+    server
+        .loader()
+        .install(windows_module(&server, Version::new(1, 0)))
+        .expect("windows module installs");
+    let client = ClamClient::connect(&server.endpoints()[0]).expect("client connects");
+    (server, client)
+}
+
+/// Load the windows module over the wire and create a `Desktop`.
+///
+/// # Panics
+///
+/// Panics on load failure (examples are demos).
+#[must_use]
+pub fn make_desktop(client: &Arc<ClamClient>) -> DesktopProxy {
+    let loader = client.loader();
+    let report = loader
+        .load_module("windows".into(), Version::new(1, 0))
+        .expect("load windows module");
+    let class_id = report
+        .classes
+        .iter()
+        .find(|c| c.class_name == "Desktop")
+        .expect("Desktop class")
+        .class_id;
+    let handle = loader
+        .create_object(class_id, clam_xdr::Opaque::new())
+        .expect("create desktop");
+    DesktopProxy::new(Arc::clone(client.caller()), Target::Object(handle))
+}
+
+/// Render a coarse ASCII view of the desktop's framebuffer by sampling
+/// pixels over RPC (good enough to *see* windows in a terminal).
+///
+/// # Panics
+///
+/// Panics if pixel reads fail (examples are demos).
+#[must_use]
+pub fn ascii_screen(desktop: &DesktopProxy, cols: u32, rows: u32) -> String {
+    use clam_windows::module::Desktop as _;
+    let size = desktop.screen_size().expect("screen size");
+    let mut out = String::with_capacity(((cols + 1) * rows) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = (c * size.width / cols) as i32;
+            let y = (r * size.height / rows) as i32;
+            let px = desktop
+                .pixel(clam_windows::Point::new(x, y))
+                .expect("pixel");
+            out.push(match px {
+                0 => '.',
+                p if p == clam_windows::window::colors::TITLE_BAR as u32 => '#',
+                p if p == clam_windows::window::colors::BACKGROUND as u32 => ' ',
+                p if p == clam_windows::window::colors::BORDER as u32 => '+',
+                _ => '*',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,114 @@
+//! Damage-notification upcalls: the repaint hint a compositor-style
+//! client registers for. Asynchronous by design — the input pipeline
+//! never waits for repainting.
+
+use clam_core::ServerConfig;
+use clam_integration::{desktop_client, unique_inproc, window_server};
+use clam_windows::module::Desktop;
+use clam_windows::{InputEvent, MouseButton, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn wait_for<F: Fn() -> bool>(pred: F) {
+    for _ in 0..400 {
+        if pred() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("condition not reached in time");
+}
+
+#[test]
+fn damage_upcalls_report_window_creation() {
+    let server = window_server(unique_inproc("damage-create"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let damage = Arc::new(Mutex::new(Vec::new()));
+    let d = Arc::clone(&damage);
+    let proc = client.register_upcall(move |r: Rect| {
+        d.lock().push(r);
+        Ok(0u32)
+    });
+    desktop.on_damage(proc).unwrap();
+
+    // redraw() publishes the full-screen clear+paint damage.
+    desktop
+        .create_window(Rect::new(10, 10, 50, 40), "w".into())
+        .unwrap();
+    desktop.redraw().unwrap();
+    wait_for(|| !damage.lock().is_empty());
+    let first = damage.lock()[0];
+    assert!(!first.is_empty());
+    // The redraw damaged at least the whole screen (clear).
+    assert!(first.size.width >= 50);
+}
+
+#[test]
+fn input_events_publish_their_damage() {
+    let server = window_server(unique_inproc("damage-input"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let count = Arc::new(Mutex::new(0u32));
+    let c = Arc::clone(&count);
+    let proc = client.register_upcall(move |_r: Rect| {
+        *c.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.on_damage(proc).unwrap();
+
+    // A sweep gesture rubber-bands the screen: every move damages.
+    desktop
+        .begin_sweep(1, clam_rpc::ProcId::NULL)
+        .unwrap();
+    for ev in clam_windows::input::sweep_script(Point::new(5, 5), Point::new(60, 50), 4) {
+        desktop.inject(ev).unwrap();
+    }
+    wait_for(|| *count.lock() >= 4);
+}
+
+#[test]
+fn events_that_change_nothing_publish_nothing() {
+    let server = window_server(unique_inproc("damage-none"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let count = Arc::new(Mutex::new(0u32));
+    let c = Arc::clone(&count);
+    let proc = client.register_upcall(move |_r: Rect| {
+        *c.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.on_damage(proc).unwrap();
+
+    // A mouse move over empty desktop with no listeners: queued, no
+    // pixels change, no damage upcall.
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(200, 200)))
+        .unwrap();
+    desktop
+        .inject(InputEvent::MouseUp(Point::new(200, 200), MouseButton::Left))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(*count.lock(), 0, "no damage, no upcalls");
+}
+
+#[test]
+fn read_region_matches_pixelwise_reads() {
+    let server = window_server(unique_inproc("damage-region"), ServerConfig::default());
+    let (_client, desktop) = desktop_client(&server);
+    desktop
+        .create_window(Rect::new(0, 0, 30, 30), "w".into())
+        .unwrap();
+    let region = Rect::new(0, 0, 8, 4);
+    let bulk = desktop.read_region(region).unwrap();
+    assert_eq!(bulk.len(), 32);
+    for y in 0..4 {
+        for x in 0..8 {
+            let px = desktop.pixel(Point::new(x, y)).unwrap();
+            assert_eq!(bulk[(y * 8 + x) as usize], px, "mismatch at {x},{y}");
+        }
+    }
+    // Out-of-bounds region clips to empty.
+    assert!(desktop
+        .read_region(Rect::new(10_000, 10_000, 4, 4))
+        .unwrap()
+        .is_empty());
+}

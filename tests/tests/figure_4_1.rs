@@ -1,0 +1,244 @@
+//! Reenactment of the paper's Figure 4.1 across address spaces.
+//!
+//! The figure: `screen` at the bottom, `window` (BaseW) above it, `user2`
+//! dynamically loaded in the server, `user1` in a client process. Mouse
+//! events upcall from the screen through BaseW to whichever user layer
+//! registered for the hit window — a plain procedure call for the layer
+//! in the server, a distributed upcall for the layer in the client.
+
+use clam_core::ServerConfig;
+use clam_integration::{desktop_client, unique_inproc, window_server};
+use clam_rpc::ProcId;
+use clam_windows::module::Desktop;
+use clam_windows::{InputEvent, MouseButton, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn mouse_events_upcall_to_the_registered_client_layer() {
+    let server = window_server(unique_inproc("fig41"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+
+    // U1 creates W1 and registers user1::mouse (the distributed path).
+    let w1 = desktop
+        .create_window(Rect::new(0, 0, 100, 100), "W1".into())
+        .unwrap();
+    let user1_events = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&user1_events);
+    let user1_mouse = client.register_upcall(move |we: clam_windows::wm::WindowEvent| {
+        log.lock().push(we);
+        Ok(1u32)
+    });
+    desktop.post_input(w1, user1_mouse).unwrap();
+
+    // The screen sees a button press inside W1; it propagates upward.
+    let delivered = desktop
+        .inject(InputEvent::MouseDown(Point::new(50, 50), MouseButton::Left))
+        .unwrap();
+    assert_eq!(delivered, 1);
+
+    let events = user1_events.lock();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].window, w1);
+    assert!(matches!(
+        events[0].event,
+        InputEvent::MouseDown(p, MouseButton::Left) if p == Point::new(50, 50)
+    ));
+}
+
+#[test]
+fn events_route_by_window_even_with_many_registrations() {
+    let server = window_server(unique_inproc("fig41-routing"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+
+    // Two windows; the later one overlaps on top.
+    let w1 = desktop
+        .create_window(Rect::new(0, 0, 60, 60), "W1".into())
+        .unwrap();
+    let w2 = desktop
+        .create_window(Rect::new(40, 40, 60, 60), "W2".into())
+        .unwrap();
+
+    let hits = Arc::new(Mutex::new(Vec::new()));
+    for w in [w1, w2] {
+        let hits = Arc::clone(&hits);
+        let proc = client.register_upcall(move |we: clam_windows::wm::WindowEvent| {
+            hits.lock().push(we.window);
+            Ok(0u32)
+        });
+        desktop.post_input(w, proc).unwrap();
+    }
+
+    // Overlap region → W2 (topmost). Exclusive region → W1.
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(50, 50)))
+        .unwrap();
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(10, 10)))
+        .unwrap();
+    assert_eq!(*hits.lock(), vec![w2, w1]);
+}
+
+#[test]
+fn click_to_focus_raises_across_the_wire() {
+    let server = window_server(unique_inproc("fig41-focus"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let w1 = desktop
+        .create_window(Rect::new(0, 0, 60, 60), "W1".into())
+        .unwrap();
+    let w2 = desktop
+        .create_window(Rect::new(40, 40, 60, 60), "W2".into())
+        .unwrap();
+    let _ = w2;
+    // Register a listener so the click is delivered, then click in W1's
+    // exclusive region.
+    let proc = client.register_upcall(|_we: clam_windows::wm::WindowEvent| Ok(0u32));
+    desktop.post_input(w1, proc).unwrap();
+    desktop
+        .inject(InputEvent::MouseDown(Point::new(10, 10), MouseButton::Left))
+        .unwrap();
+    // W1 is now on top: the overlap point hits it.
+    let probe = client.register_upcall(|_we: clam_windows::wm::WindowEvent| Ok(0u32));
+    desktop.post_input(w1, probe).unwrap();
+    let delivered = desktop
+        .inject(InputEvent::MouseMove(Point::new(50, 50)))
+        .unwrap();
+    assert_eq!(delivered, 2, "both W1 registrations fired at the overlap");
+}
+
+#[test]
+fn unregistered_events_queue_in_the_lower_layer() {
+    // Section 4.1: no interested layer → the lower layer queues.
+    let server = window_server(unique_inproc("fig41-queue"), ServerConfig::default());
+    let (_client, desktop) = desktop_client(&server);
+    desktop
+        .create_window(Rect::new(0, 0, 50, 50), "W".into())
+        .unwrap();
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(25, 25)))
+        .unwrap();
+    desktop.inject(InputEvent::Key(65)).unwrap();
+    let unclaimed = desktop.take_unclaimed().unwrap();
+    assert_eq!(unclaimed.len(), 2);
+    assert!(desktop.take_unclaimed().unwrap().is_empty());
+}
+
+#[test]
+fn two_client_processes_each_get_their_windows_events() {
+    let server = window_server(unique_inproc("fig41-two"), ServerConfig::default());
+    let (client_a, desktop) = desktop_client(&server);
+    // Client B shares the SAME desktop object: pass the handle over. In
+    // this test B simply creates its own desktop-level registration on
+    // its own desktop instance instead — each desktop is per-client
+    // state, which is the paper's "different clients could have
+    // different versions" isolation.
+    let (client_b, desktop_b) = desktop_client(&server);
+
+    let wa = desktop
+        .create_window(Rect::new(0, 0, 50, 50), "A".into())
+        .unwrap();
+    let wb = desktop_b
+        .create_window(Rect::new(0, 0, 50, 50), "B".into())
+        .unwrap();
+
+    let a_count = Arc::new(Mutex::new(0u32));
+    let b_count = Arc::new(Mutex::new(0u32));
+    let ac = Arc::clone(&a_count);
+    let pa = client_a.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *ac.lock() += 1;
+        Ok(0u32)
+    });
+    let bc = Arc::clone(&b_count);
+    let pb = client_b.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *bc.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.post_input(wa, pa).unwrap();
+    desktop_b.post_input(wb, pb).unwrap();
+
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(10, 10)))
+        .unwrap();
+    desktop_b
+        .inject(InputEvent::MouseMove(Point::new(10, 10)))
+        .unwrap();
+    desktop_b
+        .inject(InputEvent::MouseMove(Point::new(12, 12)))
+        .unwrap();
+
+    assert_eq!(*a_count.lock(), 1);
+    assert_eq!(*b_count.lock(), 2);
+}
+
+#[test]
+fn null_proc_registration_is_rejected() {
+    let server = window_server(unique_inproc("fig41-null"), ServerConfig::default());
+    let (_client, desktop) = desktop_client(&server);
+    let w = desktop
+        .create_window(Rect::new(0, 0, 50, 50), "W".into())
+        .unwrap();
+    let err = desktop.post_input(w, ProcId::NULL).unwrap_err();
+    assert!(err.to_string().contains("null procedure"));
+}
+
+#[test]
+fn deregistration_stops_upcalls_over_the_wire() {
+    let server = window_server(unique_inproc("fig41-dereg"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let w = desktop
+        .create_window(Rect::new(0, 0, 50, 50), "W".into())
+        .unwrap();
+    let count = Arc::new(Mutex::new(0u32));
+    let c = Arc::clone(&count);
+    let proc = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *c.lock() += 1;
+        Ok(0u32)
+    });
+    let registration = desktop.post_input(w, proc).unwrap();
+
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(10, 10)))
+        .unwrap();
+    assert_eq!(*count.lock(), 1);
+
+    assert!(desktop.remove_input(w, registration).unwrap());
+    assert!(!desktop.remove_input(w, registration).unwrap());
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(11, 11)))
+        .unwrap();
+    assert_eq!(*count.lock(), 1, "no upcalls after deregistration");
+    // With no listeners the event falls into the queue (section 4.1).
+    assert_eq!(desktop.take_unclaimed().unwrap().len(), 1);
+}
+
+#[test]
+fn window_move_by_dragging_makes_one_upcall() {
+    // Dragging, like sweeping, is interaction code living in the server
+    // (section 2.1's "smooth visual effect"): the moves are consumed
+    // there; one "window moved" upcall crosses at the end.
+    let server = window_server(unique_inproc("fig41-drag"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let w = desktop
+        .create_window(Rect::new(10, 10, 40, 30), "W".into())
+        .unwrap();
+
+    let moves = Arc::new(Mutex::new(Vec::new()));
+    let m = Arc::clone(&moves);
+    let on_complete = client.register_upcall(move |mv: clam_windows::WindowMoved| {
+        m.lock().push(mv);
+        Ok(0u32)
+    });
+    desktop.begin_move(w, on_complete).unwrap();
+
+    let mut upcalls = 0;
+    for ev in clam_windows::input::sweep_script(Point::new(20, 20), Point::new(70, 60), 8) {
+        upcalls += desktop.inject(ev).unwrap();
+    }
+    assert_eq!(upcalls, 1, "one 'window moved' upcall per gesture");
+    let moves = moves.lock();
+    assert_eq!(moves.len(), 1);
+    assert_eq!(moves[0].window, w);
+    assert_eq!(moves[0].from, Rect::new(10, 10, 40, 30));
+    assert_eq!(moves[0].to, Rect::new(60, 50, 40, 30));
+    assert_eq!(desktop.window_frame(w).unwrap(), Rect::new(60, 50, 40, 30));
+}

@@ -1,0 +1,109 @@
+//! Menus over the wire: open at a point, select with the mouse, receive
+//! the selection as a distributed upcall.
+
+use clam_core::ServerConfig;
+use clam_integration::{desktop_client, unique_inproc, window_server};
+use clam_windows::module::Desktop;
+use clam_windows::{InputEvent, MouseButton, Point};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn menu_selection_upcalls_once() {
+    let server = window_server(unique_inproc("menu-select"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+
+    let chosen = Arc::new(Mutex::new(Vec::new()));
+    let c = Arc::clone(&chosen);
+    let on_select = client.register_upcall(move |idx: u32| {
+        c.lock().push(idx);
+        Ok(0u32)
+    });
+    desktop
+        .open_menu(
+            vec!["new".into(), "close".into(), "quit".into()],
+            Point::new(20, 20),
+            on_select,
+        )
+        .unwrap();
+    assert!(desktop.menu_open().unwrap());
+
+    // Moves over the menu are consumed (no upcalls); a release on the
+    // second item selects it.
+    let delivered = desktop
+        .inject(InputEvent::MouseMove(Point::new(25, 30)))
+        .unwrap();
+    assert_eq!(delivered, 0, "menu consumes moves");
+    let delivered = desktop
+        .inject(InputEvent::MouseUp(
+            Point::new(25, 20 + 11 + 2), // second item row
+            MouseButton::Left,
+        ))
+        .unwrap();
+    assert_eq!(delivered, 1, "one selection upcall");
+    assert_eq!(*chosen.lock(), vec![1]);
+    assert!(!desktop.menu_open().unwrap());
+}
+
+#[test]
+fn release_outside_menu_closes_without_upcall() {
+    let server = window_server(unique_inproc("menu-dismiss"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let fired = Arc::new(Mutex::new(0u32));
+    let f = Arc::clone(&fired);
+    let on_select = client.register_upcall(move |_idx: u32| {
+        *f.lock() += 1;
+        Ok(0u32)
+    });
+    desktop
+        .open_menu(vec!["only".into()], Point::new(10, 10), on_select)
+        .unwrap();
+    desktop
+        .inject(InputEvent::MouseUp(Point::new(300, 300), MouseButton::Left))
+        .unwrap();
+    assert_eq!(*fired.lock(), 0);
+    assert!(!desktop.menu_open().unwrap());
+}
+
+#[test]
+fn menu_captures_input_ahead_of_windows() {
+    let server = window_server(unique_inproc("menu-capture"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let w = desktop
+        .create_window(clam_windows::Rect::new(0, 0, 100, 100), "w".into())
+        .unwrap();
+    let window_hits = Arc::new(Mutex::new(0u32));
+    let wh = Arc::clone(&window_hits);
+    let win_proc = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *wh.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.post_input(w, win_proc).unwrap();
+
+    let on_select = client.register_upcall(|_idx: u32| Ok(0u32));
+    desktop
+        .open_menu(vec!["a".into()], Point::new(10, 10), on_select)
+        .unwrap();
+    // This release lands inside the window AND inside the open menu; the
+    // menu wins (input capture), the window sees nothing.
+    desktop
+        .inject(InputEvent::MouseUp(Point::new(12, 13), MouseButton::Left))
+        .unwrap();
+    assert_eq!(*window_hits.lock(), 0, "menu captured the event");
+    // After the menu closed, the window receives events again.
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(12, 13)))
+        .unwrap();
+    assert_eq!(*window_hits.lock(), 1);
+}
+
+#[test]
+fn empty_menu_is_rejected_over_the_wire() {
+    let server = window_server(unique_inproc("menu-empty"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let on_select = client.register_upcall(|_idx: u32| Ok(0u32));
+    let err = desktop
+        .open_menu(Vec::new(), Point::new(0, 0), on_select)
+        .unwrap_err();
+    assert_eq!(err.status_code(), Some(clam_rpc::StatusCode::BadArgs));
+}

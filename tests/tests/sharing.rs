@@ -1,0 +1,99 @@
+//! Sharing server objects between clients through the name service —
+//! the "requirements for sharing" placement criterion of section 2.
+
+use clam_core::{NameService, ServerConfig, SessionCtl};
+use clam_integration::{desktop_client, unique_inproc, window_server};
+use clam_rpc::{Handle, StatusCode, Target};
+use clam_windows::module::{Desktop, DesktopProxy};
+use clam_windows::{InputEvent, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn two_clients_share_one_desktop_through_the_name_service() {
+    let server = window_server(unique_inproc("share-desktop"), ServerConfig::default());
+
+    // Client A creates a desktop and publishes it.
+    let (client_a, desktop_a) = desktop_client(&server);
+    let handle = match desktop_a.target() {
+        Target::Object(h) => h,
+        Target::Builtin(_) => unreachable!(),
+    };
+    client_a
+        .names()
+        .bind("desktop/main".into(), handle)
+        .unwrap();
+
+    // Client B finds it and speaks to the SAME object.
+    let client_b = clam_core::ClamClient::connect(&server.endpoints()[0]).unwrap();
+    let found = client_b.names().lookup("desktop/main".into()).unwrap();
+    assert_eq!(found, handle);
+    let desktop_b = DesktopProxy::new(Arc::clone(client_b.caller()), Target::Object(found));
+
+    // A window created by A is visible to B.
+    let w = desktop_a
+        .create_window(Rect::new(0, 0, 80, 80), "shared".into())
+        .unwrap();
+    assert_eq!(desktop_b.window_count().unwrap(), 1);
+    assert_eq!(desktop_b.window_frame(w).unwrap(), Rect::new(0, 0, 80, 80));
+
+    // BOTH clients register for the same window's input; one event
+    // upcalls into both address spaces.
+    let a_seen = Arc::new(Mutex::new(0u32));
+    let b_seen = Arc::new(Mutex::new(0u32));
+    let a = Arc::clone(&a_seen);
+    let pa = client_a.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *a.lock() += 1;
+        Ok(0u32)
+    });
+    let b = Arc::clone(&b_seen);
+    let pb = client_b.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *b.lock() += 1;
+        Ok(0u32)
+    });
+    desktop_a.post_input(w, pa).unwrap();
+    desktop_b.post_input(w, pb).unwrap();
+
+    let delivered = desktop_a
+        .inject(InputEvent::MouseMove(Point::new(10, 10)))
+        .unwrap();
+    assert_eq!(delivered, 2, "one event, two registrants, two processes");
+    assert_eq!(*a_seen.lock(), 1);
+    assert_eq!(*b_seen.lock(), 1);
+}
+
+#[test]
+fn names_cannot_publish_forged_handles() {
+    let server = window_server(unique_inproc("share-forge"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let real = match desktop.target() {
+        Target::Object(h) => h,
+        Target::Builtin(_) => unreachable!(),
+    };
+    let forged = Handle {
+        object_id: real.object_id,
+        tag: real.tag.wrapping_add(1),
+    };
+    let err = client.names().bind("evil".into(), forged).unwrap_err();
+    assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
+    assert!(client.names().lookup("evil".into()).is_err());
+}
+
+#[test]
+fn name_listing_and_unbind_work_over_the_wire() {
+    let server = window_server(unique_inproc("share-list"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    client.session().ping().unwrap();
+    let handle = match desktop.target() {
+        Target::Object(h) => h,
+        Target::Builtin(_) => unreachable!(),
+    };
+    client.names().bind("b".into(), handle).unwrap();
+    client.names().bind("a".into(), handle).unwrap();
+    assert_eq!(
+        client.names().list_names().unwrap(),
+        vec!["a".to_string(), "b".to_string()]
+    );
+    assert!(client.names().unbind("a".into()).unwrap());
+    assert_eq!(client.names().list_names().unwrap(), vec!["b".to_string()]);
+}

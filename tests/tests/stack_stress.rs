@@ -1,0 +1,175 @@
+//! Stress and robustness: many clients, many events, faults, teardown.
+
+use clam_core::{ClamClient, ServerConfig};
+use clam_integration::{desktop_client, desktop_for, unique_inproc, window_server};
+use clam_load::{Loader, Version};
+use clam_rpc::Target;
+use clam_windows::module::Desktop;
+use clam_windows::{InputEvent, Point, Rect};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn four_concurrent_clients_hammer_one_server() {
+    let server = window_server(unique_inproc("stress-multi"), ServerConfig::default());
+    let mut threads = Vec::new();
+    for t in 0..4 {
+        let server = Arc::clone(&server);
+        threads.push(std::thread::spawn(move || {
+            let client = ClamClient::connect(&server.endpoints()[0]).unwrap();
+            let desktop = desktop_for(&client);
+            let seen = Arc::new(Mutex::new(0u32));
+            let w = desktop
+                .create_window(Rect::new(0, 0, 50, 50), format!("w{t}"))
+                .unwrap();
+            let s = Arc::clone(&seen);
+            let p = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+                *s.lock() += 1;
+                Ok(0u32)
+            });
+            desktop.post_input(w, p).unwrap();
+            for i in 0..50 {
+                desktop
+                    .inject(InputEvent::MouseMove(Point::new(i % 50, i % 50)))
+                    .unwrap();
+            }
+            assert_eq!(*seen.lock(), 50);
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    // The hammered server still admits fresh clients.
+    let (_c, d) = desktop_client(&server);
+    assert_eq!(d.window_count().unwrap(), 0);
+}
+
+#[test]
+fn upcall_handler_fault_is_contained_and_reported() {
+    let server = window_server(unique_inproc("stress-fault"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let w = desktop
+        .create_window(Rect::new(0, 0, 50, 50), "w".into())
+        .unwrap();
+    let p = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| -> clam_rpc::RpcResult<u32> {
+        panic!("listener bug");
+    });
+    desktop.post_input(w, p).unwrap();
+    // The upcall faults in the client; the error comes back to the
+    // server-side delivery, which surfaces it to inject()'s caller.
+    let err = desktop
+        .inject(InputEvent::MouseMove(Point::new(10, 10)))
+        .unwrap_err();
+    assert_eq!(err.status_code(), Some(clam_rpc::StatusCode::Fault));
+    // The client's upcall task survived; a healthy listener still works.
+    let ok = Arc::new(Mutex::new(0u32));
+    let o = Arc::clone(&ok);
+    let p2 = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *o.lock() += 1;
+        Ok(0u32)
+    });
+    let w2 = desktop
+        .create_window(Rect::new(60, 60, 30, 30), "w2".into())
+        .unwrap();
+    desktop.post_input(w2, p2).unwrap();
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(65, 65)))
+        .unwrap();
+    assert_eq!(*ok.lock(), 1);
+}
+
+#[test]
+fn stale_handles_after_unload_fail_cleanly_over_the_wire() {
+    let server = window_server(unique_inproc("stress-stale"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    desktop.screen_size().unwrap();
+    client
+        .loader()
+        .unload_module("windows".into(), Version::new(1, 0))
+        .unwrap();
+    let err = desktop.screen_size().unwrap_err();
+    assert_eq!(err.status_code(), Some(clam_rpc::StatusCode::NoSuchClass));
+}
+
+#[test]
+fn many_windows_layout_consistently() {
+    let server = window_server(unique_inproc("stress-many"), ServerConfig::default());
+    let (_client, desktop) = desktop_client(&server);
+    let frames = clam_windows::layout::layout(
+        Rect::new(0, 0, 640, 480),
+        12,
+        clam_windows::layout::LayoutPolicy::Grid,
+        2,
+    );
+    for (i, frame) in frames.iter().enumerate() {
+        desktop.create_window(*frame, format!("w{i}")).unwrap();
+    }
+    assert_eq!(desktop.window_count().unwrap(), 12);
+    // Every window's frame round-trips.
+    for (i, frame) in frames.iter().enumerate() {
+        let id = clam_windows::WindowId { id: (i + 1) as u64 };
+        assert_eq!(desktop.window_frame(id).unwrap(), *frame);
+    }
+}
+
+#[test]
+fn graphics3d_class_works_over_the_wire() {
+    use clam_windows::graphics3d::{Graphics3D, Graphics3DProxy, Point3};
+    let server = window_server(unique_inproc("stress-3d"), ServerConfig::default());
+    let client = ClamClient::connect(&server.endpoints()[0]).unwrap();
+    let loader = client.loader();
+    let report = loader
+        .load_module("windows".into(), Version::new(1, 0))
+        .unwrap();
+    let class_id = report
+        .classes
+        .iter()
+        .find(|c| c.class_name == "Graphics3D")
+        .unwrap()
+        .class_id;
+    let handle = loader
+        .create_object(class_id, clam_xdr::Opaque::new())
+        .unwrap();
+    let gfx = Graphics3DProxy::new(Arc::clone(client.caller()), Target::Object(handle));
+
+    gfx.draw_point(Point3::new(0, 0, 0)).unwrap();
+    gfx.draw_points(vec![
+        Point3::new(10, 10, 0),
+        Point3::new(-10, -10, 0),
+        Point3::new(0, 0, 50),
+    ])
+    .unwrap();
+    gfx.draw_line(Point3::new(-20, 0, 0), Point3::new(20, 0, 0))
+        .unwrap();
+    assert_eq!(gfx.pixels_drawn().unwrap(), 5);
+    assert_eq!(gfx.get_cursor_pos().unwrap(), Point3::default());
+}
+
+#[test]
+fn disconnecting_client_does_not_disturb_others() {
+    let server = window_server(unique_inproc("stress-discon"), ServerConfig::default());
+    let (survivor, desktop) = desktop_client(&server);
+    {
+        let (victim, victim_desktop) = desktop_client(&server);
+        victim_desktop
+            .create_window(Rect::new(0, 0, 10, 10), "v".into())
+            .unwrap();
+        drop(victim_desktop);
+        drop(victim);
+    }
+    // Survivor still fully functional, including upcalls.
+    let seen = Arc::new(Mutex::new(0u32));
+    let s = Arc::clone(&seen);
+    let w = desktop
+        .create_window(Rect::new(0, 0, 50, 50), "s".into())
+        .unwrap();
+    let p = survivor.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *s.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.post_input(w, p).unwrap();
+    desktop
+        .inject(InputEvent::MouseMove(Point::new(5, 5)))
+        .unwrap();
+    assert_eq!(*seen.lock(), 1);
+}

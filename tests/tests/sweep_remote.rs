@@ -1,0 +1,128 @@
+//! Section 2.1's sweep example, end to end: sweeping in the server with
+//! a single completion upcall, versus shipping every event to the client.
+
+use clam_core::ServerConfig;
+use clam_integration::{desktop_client, unique_inproc, window_server};
+use clam_windows::input::sweep_script;
+use clam_windows::module::Desktop;
+use clam_windows::{Point, Rect};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn server_side_sweep_makes_exactly_one_upcall() {
+    let server = window_server(unique_inproc("sweep-one"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+
+    let completions = Arc::new(Mutex::new(Vec::new()));
+    let c = Arc::clone(&completions);
+    let on_complete = client.register_upcall(move |rect: Rect| {
+        c.lock().push(rect);
+        Ok(0u32)
+    });
+    desktop.begin_sweep(1, on_complete).unwrap();
+
+    // A 20-step drag: 22 events cross to the server (they would all have
+    // crossed to the client in the X-style placement).
+    let script = sweep_script(Point::new(10, 10), Point::new(110, 80), 20);
+    let mut upcalls = 0;
+    for ev in script {
+        upcalls += desktop.inject(ev).unwrap();
+    }
+
+    assert_eq!(upcalls, 1, "exactly one upward event: 'window created'");
+    assert_eq!(*completions.lock(), vec![Rect::new(10, 10, 100, 70)]);
+    assert_eq!(desktop.window_count().unwrap(), 1);
+    assert_eq!(client.upcalls_handled(), 1);
+}
+
+#[test]
+fn client_side_sweeping_pays_one_upcall_per_event() {
+    // The X-window placement: every event crosses to the client layer.
+    let server = window_server(unique_inproc("sweep-x"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+
+    let moves = Arc::new(Mutex::new(0u32));
+    let m = Arc::clone(&moves);
+    let listener = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| {
+        *m.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.post_desktop(listener).unwrap();
+
+    let script = sweep_script(Point::new(10, 10), Point::new(110, 80), 20);
+    let events = script.len() as u32;
+    let mut upcalls = 0;
+    for ev in script {
+        upcalls += desktop.inject(ev).unwrap();
+    }
+    assert_eq!(upcalls, events, "every event crossed the address space");
+    assert_eq!(*moves.lock(), events);
+    assert_eq!(client.upcalls_handled() as u32, events);
+}
+
+#[test]
+fn sweep_with_grid_snapping_versionlike_option() {
+    // "Clients can decide the details of window creation" — here via the
+    // grid option at arm time.
+    let server = window_server(unique_inproc("sweep-grid"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let swept = Arc::new(Mutex::new(None));
+    let s = Arc::clone(&swept);
+    let on_complete = client.register_upcall(move |rect: Rect| {
+        *s.lock() = Some(rect);
+        Ok(0u32)
+    });
+    desktop.begin_sweep(16, on_complete).unwrap();
+    for ev in sweep_script(Point::new(5, 5), Point::new(50, 40), 4) {
+        desktop.inject(ev).unwrap();
+    }
+    assert_eq!(*swept.lock(), Some(Rect::new(0, 0, 64, 48)));
+}
+
+#[test]
+fn rubber_band_leaves_no_residue_on_the_server_screen() {
+    let server = window_server(unique_inproc("sweep-band"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let on_complete = client.register_upcall(|_rect: Rect| Ok(0u32));
+    desktop.begin_sweep(1, on_complete).unwrap();
+    for ev in sweep_script(Point::new(20, 20), Point::new(90, 60), 10) {
+        desktop.inject(ev).unwrap();
+    }
+    // Compare against a reference desktop where the same window is
+    // created directly (no sweep): identical white-pixel counts mean the
+    // rubber band XORed itself away completely. (White = band mask =
+    // window background = title ink, so any residue shows up here.)
+    let swept_white = desktop
+        .count_pixels(clam_windows::sweep::BAND_MASK)
+        .unwrap();
+    let reference = clam_integration::desktop_for(&client);
+    reference
+        .create_window(Rect::new(20, 20, 70, 40), "swept".into())
+        .unwrap();
+    let reference_white = reference
+        .count_pixels(clam_windows::sweep::BAND_MASK)
+        .unwrap();
+    assert_eq!(swept_white, reference_white, "no band residue");
+}
+
+#[test]
+fn scripted_injection_batches_across_the_wire() {
+    let server = window_server(unique_inproc("sweep-script"), ServerConfig::default());
+    let (client, desktop) = desktop_client(&server);
+    let completions = Arc::new(Mutex::new(0u32));
+    let c = Arc::clone(&completions);
+    let on_complete = client.register_upcall(move |_rect: Rect| {
+        *c.lock() += 1;
+        Ok(0u32)
+    });
+    desktop.begin_sweep(1, on_complete).unwrap();
+
+    // One oneway call carries the whole gesture.
+    let script = sweep_script(Point::new(0, 0), Point::new(40, 40), 8);
+    desktop.inject_script(script).unwrap();
+    desktop.flush().unwrap();
+    // Synchronize: a sync call after the oneway drains the pipeline.
+    assert_eq!(desktop.window_count().unwrap(), 1);
+    assert_eq!(*completions.lock(), 1);
+}
