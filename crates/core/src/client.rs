@@ -174,7 +174,12 @@ impl ClamClient {
         let caller = Caller::new(&sched, rpc_writer, caller_config);
         caller.spawn_reply_pump(rpc_reader);
 
-        let (up_writer, mut up_reader) = upcall_ch.split();
+        let (mut up_writer, mut up_reader) = upcall_ch.split();
+        // One pool for the upcall channel: inbound upcall frames are
+        // recycled right after decode, reply frames after the write.
+        let upcall_pool = clam_xdr::BufferPool::default();
+        up_writer.attach_pool(&upcall_pool);
+        up_reader.attach_pool(&upcall_pool);
         let inbox = Arc::new(UpcallInbox {
             queue: Mutex::new(VecDeque::new()),
             event: Event::new(&sched),
@@ -184,13 +189,14 @@ impl ClamClient {
         // Upcall read pump (OS thread, plays the kernel).
         {
             let inbox = Arc::clone(&inbox);
+            let pool = upcall_pool.clone();
             std::thread::Builder::new()
                 .name("clam-upcall-pump".to_string())
                 .spawn(move || {
-                    loop {
-                        let Ok(frame) = up_reader.recv() else { break };
+                    while let Ok(frame) = up_reader.recv() {
                         match Message::from_frame(&frame) {
                             Ok(Message::Upcall(up)) => {
+                                pool.recycle(frame.into_wire());
                                 inbox.queue.lock().push_back(up);
                                 inbox.event.signal();
                             }
@@ -232,10 +238,11 @@ impl ClamClient {
                 let reply = Self::run_upcall(&procs, &up);
                 handled.fetch_add(1, Ordering::Relaxed);
                 if up.request_id != 0 {
-                    let Ok(frame) = Message::UpcallReply(reply).to_frame() else {
+                    let Ok(frame) = Message::UpcallReply(reply).to_frame_in(&upcall_pool)
+                    else {
                         return;
                     };
-                    if writer.lock().send(&frame).is_err() {
+                    if writer.lock().send(frame).is_err() {
                         return;
                     }
                 }

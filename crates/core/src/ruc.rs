@@ -14,7 +14,7 @@
 use clam_net::{MsgReader, MsgWriter};
 use clam_rpc::{Message, ProcId, Reply, RpcError, RpcResult, StatusCode, UpcallMsg};
 use clam_task::{Event, Scheduler};
-use clam_xdr::Opaque;
+use clam_xdr::{BufferPool, Opaque};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +46,8 @@ pub struct UpcallRouter {
     /// inbound frames in auxiliary tasks so a client's upcall handler
     /// can call back into the server (section 4.4's nested flow).
     sync_in_flight: AtomicU64,
+    /// Upcall frames cycle: acquire → encode → send → writer recycles.
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for UpcallRouter {
@@ -60,11 +62,13 @@ impl std::fmt::Debug for UpcallRouter {
 impl UpcallRouter {
     /// Create a router over the upcall channel's writer half.
     #[must_use]
-    pub fn new(sched: &Scheduler, writer: Box<dyn MsgWriter>, max_active: usize) -> Arc<Self> {
+    pub fn new(sched: &Scheduler, mut writer: Box<dyn MsgWriter>, max_active: usize) -> Arc<Self> {
         let permits = Event::new(sched);
         for _ in 0..max_active {
             permits.signal();
         }
+        let pool = BufferPool::default();
+        writer.attach_pool(&pool);
         Arc::new(UpcallRouter {
             writer: Mutex::new(writer),
             pending: Mutex::new(HashMap::new()),
@@ -74,6 +78,7 @@ impl UpcallRouter {
             sched: sched.clone(),
             max_active,
             sync_in_flight: AtomicU64::new(0),
+            pool,
         })
     }
 
@@ -131,8 +136,8 @@ impl UpcallRouter {
             args,
         });
         let send_result = (|| -> RpcResult<()> {
-            let frame = msg.to_frame()?;
-            self.writer.lock().send(&frame)?;
+            let frame = msg.to_frame_in(&self.pool)?;
+            self.writer.lock().send(frame)?;
             Ok(())
         })();
         if let Err(e) = send_result {
@@ -159,8 +164,8 @@ impl UpcallRouter {
             request_id: 0,
             args,
         });
-        let frame = msg.to_frame()?;
-        self.writer.lock().send(&frame)?;
+        let frame = msg.to_frame_in(&self.pool)?;
+        self.writer.lock().send(frame)?;
         Ok(())
     }
 
@@ -202,13 +207,11 @@ impl UpcallRouter {
     /// Run the upcall-reply pump on the calling thread until the channel
     /// closes. Spawn on a dedicated OS thread.
     pub fn pump_replies(self: &Arc<Self>, mut reader: Box<dyn MsgReader>) {
-        loop {
-            let frame = match reader.recv() {
-                Ok(f) => f,
-                Err(_) => break,
-            };
+        reader.attach_pool(&self.pool);
+        while let Ok(frame) = reader.recv() {
             match Message::from_frame(&frame) {
                 Ok(Message::UpcallReply(reply)) => {
+                    self.pool.recycle(frame.into_wire());
                     self.handle_reply(reply);
                 }
                 Ok(_) | Err(_) => break,
@@ -225,18 +228,16 @@ impl UpcallRouter {
         self: &Arc<Self>,
         mut reader: Box<dyn MsgReader>,
     ) -> std::thread::JoinHandle<()> {
+        reader.attach_pool(&self.pool);
         let weak = Arc::downgrade(self);
         std::thread::Builder::new()
             .name("clam-upcall-reply-pump".to_string())
             .spawn(move || {
-                loop {
-                    let frame = match reader.recv() {
-                        Ok(f) => f,
-                        Err(_) => break,
-                    };
+                while let Ok(frame) = reader.recv() {
                     let Some(router) = weak.upgrade() else { break };
                     match Message::from_frame(&frame) {
                         Ok(Message::UpcallReply(reply)) => {
+                            router.pool.recycle(frame.into_wire());
                             router.handle_reply(reply);
                         }
                         Ok(_) | Err(_) => break,
@@ -318,7 +319,7 @@ mod tests {
                         detail: String::new(),
                         results: Opaque::from(results),
                     });
-                    chan.send(&reply.to_frame().unwrap()).unwrap();
+                    chan.send(reply.to_frame().unwrap()).unwrap();
                 }
             }
             served
@@ -370,7 +371,7 @@ mod tests {
                 detail: "handler crashed".into(),
                 results: Opaque::new(),
             });
-            client_end.send(&reply.to_frame().unwrap()).unwrap();
+            client_end.send(reply.to_frame().unwrap()).unwrap();
             client_end
         });
         let ruc = RemoteUpcall::new(router, ProcId { id: 1 });
@@ -432,7 +433,7 @@ mod tests {
                     detail: String::new(),
                     results: Opaque::new(),
                 });
-                let _ = chan.send(&reply.to_frame().unwrap());
+                let _ = chan.send(reply.to_frame().unwrap());
             }
         });
 
@@ -481,7 +482,7 @@ mod tests {
                     detail: String::new(),
                     results: Opaque::new(),
                 });
-                chan.send(&reply.to_frame().unwrap()).unwrap();
+                chan.send(reply.to_frame().unwrap()).unwrap();
             }
         });
 

@@ -367,6 +367,7 @@ impl ClamServer {
             let _ = self.sched.try_spawn(&format!("rpc-main-{}", conn.0), move || {
                 while let Some(frame) = session.next_frame() {
                     Self::process_session_frame(&server, &session, conn, &frame);
+                    session.buffer_pool().recycle(frame.into_wire());
                 }
             });
         }
@@ -386,6 +387,7 @@ impl ClamServer {
             std::thread::Builder::new()
                 .name(format!("clam-rpc-pump-{}", conn.0))
                 .spawn(move || {
+                    rpc_reader.attach_pool(session.buffer_pool());
                     while let Ok(frame) = rpc_reader.recv() {
                         if !session.is_alive() {
                             break; // server shut the session down
@@ -398,6 +400,7 @@ impl ClamServer {
                                     Self::process_session_frame(
                                         &server, &session, conn, &frame,
                                     );
+                                    session.buffer_pool().recycle(frame.into_wire());
                                 });
                             if spawned.is_err() {
                                 break; // scheduler shut down
@@ -425,10 +428,10 @@ impl ClamServer {
             return;
         };
         for reply in replies {
-            let Ok(out) = Message::Reply(reply).to_frame() else {
+            let Ok(out) = Message::Reply(reply).to_frame_in(session.buffer_pool()) else {
                 return;
             };
-            if session.send_rpc(&out).is_err() {
+            if session.send_rpc(out).is_err() {
                 return;
             }
         }

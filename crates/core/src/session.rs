@@ -5,9 +5,10 @@
 //! error handler (section 4.3's error reporting).
 
 use crate::ruc::UpcallRouter;
-use clam_net::MsgWriter;
+use clam_net::{Frame, MsgWriter};
 use clam_rpc::{current_conn, ConnId, ProcId, RpcError, RpcResult, StatusCode};
 use clam_task::{Event, Scheduler};
+use clam_xdr::BufferPool;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,10 +36,13 @@ pub struct Session {
     conn: ConnId,
     router: Arc<UpcallRouter>,
     rpc_writer: Mutex<Box<dyn MsgWriter>>,
-    inbox: Mutex<VecDeque<Vec<u8>>>,
+    inbox: Mutex<VecDeque<Frame>>,
     inbox_event: Event,
     alive: AtomicBool,
     error_proc: Mutex<Option<ProcId>>,
+    /// Wire buffers for this session's RPC channel: inbound call frames
+    /// and outbound replies cycle through here instead of the allocator.
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for Session {
@@ -55,8 +59,10 @@ impl Session {
         sched: &Scheduler,
         conn: ConnId,
         router: Arc<UpcallRouter>,
-        rpc_writer: Box<dyn MsgWriter>,
+        mut rpc_writer: Box<dyn MsgWriter>,
     ) -> Arc<Session> {
+        let pool = BufferPool::default();
+        rpc_writer.attach_pool(&pool);
         Arc::new(Session {
             conn,
             router,
@@ -65,7 +71,15 @@ impl Session {
             inbox_event: Event::new(sched),
             alive: AtomicBool::new(true),
             error_proc: Mutex::new(None),
+            pool,
         })
+    }
+
+    /// The session's wire-buffer pool. The server's read pump attaches
+    /// this to the RPC reader and recycles frames after dispatch.
+    #[must_use]
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// The session's connection id.
@@ -101,8 +115,8 @@ impl Session {
     /// task per frame instead, but embedders building a strictly
     /// serialized main-RPC-task loop (the paper's original single-task
     /// form) drive sessions through this pair.
-    pub fn push_inbox(&self, frame: Vec<u8>) {
-        self.inbox.lock().push_back(frame);
+    pub fn push_inbox(&self, frame: impl Into<Frame>) {
+        self.inbox.lock().push_back(frame.into());
         self.inbox_event.signal();
     }
 
@@ -117,7 +131,7 @@ impl Session {
     /// blocking the calling *task*; `None` once the session is dead and
     /// drained.
     #[must_use]
-    pub fn next_frame(&self) -> Option<Vec<u8>> {
+    pub fn next_frame(&self) -> Option<Frame> {
         loop {
             if let Some(frame) = self.inbox.lock().pop_front() {
                 return Some(frame);
@@ -129,8 +143,9 @@ impl Session {
         }
     }
 
-    /// Send a frame on the RPC channel (replies).
-    pub(crate) fn send_rpc(&self, frame: &[u8]) -> RpcResult<()> {
+    /// Send a frame on the RPC channel (replies). The writer recycles the
+    /// frame's buffer into this session's pool after the write.
+    pub(crate) fn send_rpc(&self, frame: Frame) -> RpcResult<()> {
         self.rpc_writer.lock().send(frame)?;
         Ok(())
     }
@@ -251,12 +266,12 @@ mod tests {
         let (s, _sched) = session_rig();
         s.push_inbox(vec![1]);
         s.push_inbox(vec![2]);
-        assert_eq!(s.next_frame(), Some(vec![1]));
-        assert_eq!(s.next_frame(), Some(vec![2]));
+        assert_eq!(s.next_frame().unwrap(), vec![1]);
+        assert_eq!(s.next_frame().unwrap(), vec![2]);
         s.push_inbox(vec![3]);
         s.mark_dead();
-        assert_eq!(s.next_frame(), Some(vec![3]), "drain after death");
-        assert_eq!(s.next_frame(), None);
+        assert_eq!(s.next_frame().unwrap(), vec![3], "drain after death");
+        assert!(s.next_frame().is_none());
         assert!(!s.is_alive());
     }
 

@@ -335,7 +335,7 @@ mod tests {
     fn post_first_hits_only_the_first() {
         let second = Arc::new(AtomicU32::new(0));
         let reg: UpcallRegistry<u32, u32> = UpcallRegistry::new();
-        reg.register(UpcallTarget::local(|x| Ok(x)));
+        reg.register(UpcallTarget::local(Ok));
         let s = Arc::clone(&second);
         reg.register(UpcallTarget::local(move |x| {
             s.fetch_add(1, Ordering::SeqCst);

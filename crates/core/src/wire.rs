@@ -9,18 +9,13 @@
 
 clam_xdr::bundle_enum! {
     /// Which channel of the pair a new connection is.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
     pub enum ChannelRole {
         /// Carries client → server call batches and their replies.
+        #[default]
         Rpc = 0,
         /// Carries server → client upcalls and their replies.
         Upcall = 1,
-    }
-}
-
-impl Default for ChannelRole {
-    fn default() -> Self {
-        ChannelRole::Rpc
     }
 }
 

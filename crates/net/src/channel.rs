@@ -1,6 +1,8 @@
 //! The duplex message channel and its split reader/writer halves.
 
 use crate::error::NetResult;
+use crate::frame::Frame;
+use clam_xdr::BufferPool;
 use crossbeam_channel::{Receiver, Sender};
 
 /// The sending half of a channel.
@@ -8,11 +10,19 @@ pub trait MsgWriter: Send {
     /// Send one message frame. Blocks until the frame is handed to the
     /// transport; the transports deliver reliably and in order.
     ///
+    /// Takes the frame by value: stream transports write its wire image
+    /// and recycle the buffer into an attached [`BufferPool`]; the
+    /// in-process transport moves it to the peer without copying.
+    ///
     /// # Errors
     ///
     /// Returns [`NetError::Closed`](crate::NetError::Closed) if the peer
     /// is gone, or a transport-level error.
-    fn send(&mut self, frame: &[u8]) -> NetResult<()>;
+    fn send(&mut self, frame: Frame) -> NetResult<()>;
+
+    /// Recycle spent frame buffers into `pool` after each send. Default:
+    /// no pooling (buffers are dropped).
+    fn attach_pool(&mut self, _pool: &BufferPool) {}
 }
 
 /// The receiving half of a channel.
@@ -23,7 +33,11 @@ pub trait MsgReader: Send {
     ///
     /// Returns [`NetError::Closed`](crate::NetError::Closed) when the peer
     /// hangs up, or a transport-level error.
-    fn recv(&mut self) -> NetResult<Vec<u8>>;
+    fn recv(&mut self) -> NetResult<Frame>;
+
+    /// Draw receive buffers from `pool` instead of allocating. Default:
+    /// no pooling.
+    fn attach_pool(&mut self, _pool: &BufferPool) {}
 }
 
 /// A duplex, message-framed connection.
@@ -74,13 +88,20 @@ impl Channel {
         (self.writer, self.reader)
     }
 
-    /// Send on an unsplit channel (convenience for tests and handshakes).
+    /// Pool buffers on both halves (see the trait `attach_pool` methods).
+    pub fn attach_pool(&mut self, pool: &BufferPool) {
+        self.writer.attach_pool(pool);
+        self.reader.attach_pool(pool);
+    }
+
+    /// Send on an unsplit channel (convenience for tests and handshakes;
+    /// accepts anything frameable, e.g. `&[u8]` or a finished [`Frame`]).
     ///
     /// # Errors
     ///
     /// See [`MsgWriter::send`].
-    pub fn send(&mut self, frame: &[u8]) -> NetResult<()> {
-        self.writer.send(frame)
+    pub fn send(&mut self, frame: impl Into<Frame>) -> NetResult<()> {
+        self.writer.send(frame.into())
     }
 
     /// Receive on an unsplit channel (convenience for tests and
@@ -89,7 +110,7 @@ impl Channel {
     /// # Errors
     ///
     /// See [`MsgReader::recv`].
-    pub fn recv(&mut self) -> NetResult<Vec<u8>> {
+    pub fn recv(&mut self) -> NetResult<Frame> {
         self.reader.recv()
     }
 }
@@ -99,23 +120,24 @@ impl Channel {
 // ----------------------------------------------------------------------
 
 pub(crate) struct QueueWriter {
-    pub(crate) tx: Sender<Vec<u8>>,
+    pub(crate) tx: Sender<Frame>,
 }
 
 impl MsgWriter for QueueWriter {
-    fn send(&mut self, frame: &[u8]) -> NetResult<()> {
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| crate::NetError::Closed)
+    fn send(&mut self, frame: Frame) -> NetResult<()> {
+        // The frame's buffer moves to the peer intact — the receiving side
+        // recycles it into *its* pool after dispatch, so in-process
+        // channels are copy-free end to end.
+        self.tx.send(frame).map_err(|_| crate::NetError::Closed)
     }
 }
 
 pub(crate) struct QueueReader {
-    pub(crate) rx: Receiver<Vec<u8>>,
+    pub(crate) rx: Receiver<Frame>,
 }
 
 impl MsgReader for QueueReader {
-    fn recv(&mut self) -> NetResult<Vec<u8>> {
+    fn recv(&mut self) -> NetResult<Frame> {
         self.rx.recv().map_err(|_| crate::NetError::Closed)
     }
 }
@@ -170,8 +192,23 @@ mod tests {
         let (mut atx, _arx) = a.split();
         let (_btx, mut brx) = b.split();
         let t = std::thread::spawn(move || brx.recv().unwrap());
-        atx.send(b"cross-thread").unwrap();
+        atx.send(Frame::from(b"cross-thread")).unwrap();
         assert_eq!(t.join().unwrap(), b"cross-thread");
+    }
+
+    #[test]
+    fn inproc_send_moves_the_buffer_without_copying() {
+        let (mut a, mut b) = pair();
+        let frame = Frame::from_payload(b"moved").unwrap();
+        let wire_ptr = frame.wire().as_ptr();
+        a.send(frame).unwrap();
+        let got = b.recv().unwrap();
+        assert_eq!(got, b"moved");
+        assert_eq!(
+            got.wire().as_ptr(),
+            wire_ptr,
+            "the very same allocation must arrive at the peer"
+        );
     }
 
     #[test]

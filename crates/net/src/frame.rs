@@ -1,62 +1,355 @@
-//! Length-prefixed framing over byte streams.
+//! Length-prefixed framing over byte streams, zero-copy edition.
 //!
 //! Every message travels as a 4-byte big-endian length followed by the
 //! payload. The stream transports (Unix domain, TCP) guarantee order and
 //! reliability, which is all the paper's RPC protocol requires of its
 //! "underlying communication medium" (section 3.4).
+//!
+//! A [`Frame`] owns its complete *wire image* — prefix and payload in one
+//! contiguous `Vec<u8>` — so the path from encoder to socket is a single
+//! buffer: the batcher reserves the prefix up front with
+//! [`FrameEncoder::begin`], encodes calls directly behind it, patches the
+//! length in [`FrameEncoder::finish`], and the transport writes the whole
+//! image with one `write_all`. After the write the `Vec` goes back to a
+//! [`BufferPool`], so at steady state no wire-path allocation happens.
 
 use crate::error::{NetError, NetResult};
-use std::io::{Read, Write};
+use clam_xdr::BufferPool;
+use std::io::{IoSlice, Read, Write};
 
 /// Maximum accepted frame length. Large enough for any batched call
 /// message in this system, small enough to stop a corrupt length prefix
 /// from allocating gigabytes.
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
-/// Write one frame to `w` and flush it.
+/// Bytes of length prefix at the front of every wire image.
+pub const FRAME_PREFIX_LEN: usize = 4;
+
+/// One message frame, stored as its complete wire image.
 ///
-/// # Errors
-///
-/// Returns [`NetError::FrameTooLarge`] for oversized payloads or the
-/// underlying I/O error (peer hangups normalize to [`NetError::Closed`]).
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> NetResult<()> {
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(NetError::FrameTooLarge {
-            len: payload.len(),
-            max: MAX_FRAME_LEN,
-        });
-    }
-    let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits in u32");
-    // One write for the common small frame keeps Unix-domain round trips
-    // to a single syscall each way.
-    let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(&len.to_be_bytes());
-    buf.extend_from_slice(payload);
-    w.write_all(&buf)?;
-    w.flush()?;
-    Ok(())
+/// The first [`FRAME_PREFIX_LEN`] bytes are the big-endian payload length;
+/// the rest is the payload. `Frame` dereferences to the *payload*, so code
+/// that treats a received frame as bytes (`Message::from_frame(&frame)`,
+/// `clam_xdr::decode(&frame)`) works unchanged, while transports write
+/// [`Frame::wire`] in a single call with no copy and no scratch buffer.
+#[derive(Clone)]
+pub struct Frame {
+    wire: Vec<u8>,
 }
 
-/// Read one frame from `r`.
+impl Frame {
+    /// Build a frame by copying `payload` behind a freshly written prefix.
+    ///
+    /// One allocation, sized exactly. Prefer [`FrameEncoder`] (which
+    /// allocates nothing at steady state) on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::FrameTooLarge`] for oversized payloads.
+    pub fn from_payload(payload: &[u8]) -> NetResult<Frame> {
+        check_payload_len(payload.len())?;
+        let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits in u32");
+        let mut wire = Vec::with_capacity(FRAME_PREFIX_LEN + payload.len());
+        wire.extend_from_slice(&len.to_be_bytes());
+        wire.extend_from_slice(payload);
+        Ok(Frame { wire })
+    }
+
+    /// Adopt a complete wire image (prefix already in place and
+    /// consistent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::FrameTooLarge`] if the image is shorter than a
+    /// prefix, its prefix disagrees with its length, or the payload
+    /// exceeds [`MAX_FRAME_LEN`].
+    pub fn from_wire(wire: Vec<u8>) -> NetResult<Frame> {
+        let payload_len = wire.len().checked_sub(FRAME_PREFIX_LEN).ok_or(
+            NetError::FrameTooLarge {
+                len: wire.len(),
+                max: MAX_FRAME_LEN,
+            },
+        )?;
+        check_payload_len(payload_len)?;
+        let prefix = u32::from_be_bytes(wire[..FRAME_PREFIX_LEN].try_into().expect("4 bytes"));
+        if prefix as usize != payload_len {
+            return Err(NetError::FrameTooLarge {
+                len: prefix as usize,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        Ok(Frame { wire })
+    }
+
+    /// The payload bytes (what [`Deref`](std::ops::Deref) also yields).
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.wire[FRAME_PREFIX_LEN..]
+    }
+
+    /// The complete wire image: prefix followed by payload. Transports
+    /// write exactly these bytes.
+    #[must_use]
+    pub fn wire(&self) -> &[u8] {
+        &self.wire
+    }
+
+    /// Take back the wire image, e.g. to recycle it into a
+    /// [`BufferPool`] after the frame has been written or dispatched.
+    #[must_use]
+    pub fn into_wire(self) -> Vec<u8> {
+        self.wire
+    }
+}
+
+impl std::ops::Deref for Frame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.payload()
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame")
+            .field("payload_len", &self.payload().len())
+            .field("payload", &self.payload())
+            .finish()
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.payload() == other.payload()
+    }
+}
+impl Eq for Frame {}
+
+impl PartialEq<[u8]> for Frame {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.payload() == other
+    }
+}
+impl PartialEq<&[u8]> for Frame {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.payload() == *other
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Frame {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.payload() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Frame {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.payload() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Frame {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.payload() == other.as_slice()
+    }
+}
+impl PartialEq<Frame> for Vec<u8> {
+    fn eq(&self, other: &Frame) -> bool {
+        self.as_slice() == other.payload()
+    }
+}
+
+/// Payload-copying conversions for handshakes and tests. Hot paths build
+/// frames with [`FrameEncoder`] instead.
 ///
-/// # Errors
+/// # Panics
 ///
-/// Returns [`NetError::Closed`] on a clean hangup at a frame boundary,
-/// [`NetError::FrameTooLarge`] for corrupt length prefixes, or the
-/// underlying I/O error.
-pub fn read_frame<R: Read>(r: &mut R) -> NetResult<Vec<u8>> {
-    let mut len_buf = [0u8; 4];
-    r.read_exact(&mut len_buf)?;
-    let len = u32::from_be_bytes(len_buf) as usize;
+/// Panic on payloads over [`MAX_FRAME_LEN`]; use [`Frame::from_payload`]
+/// to handle that case as an error.
+impl From<&[u8]> for Frame {
+    fn from(payload: &[u8]) -> Frame {
+        Frame::from_payload(payload).expect("payload exceeds MAX_FRAME_LEN")
+    }
+}
+impl<const N: usize> From<&[u8; N]> for Frame {
+    fn from(payload: &[u8; N]) -> Frame {
+        Frame::from(payload.as_slice())
+    }
+}
+impl From<&Vec<u8>> for Frame {
+    fn from(payload: &Vec<u8>) -> Frame {
+        Frame::from(payload.as_slice())
+    }
+}
+impl From<Vec<u8>> for Frame {
+    fn from(payload: Vec<u8>) -> Frame {
+        Frame::from(payload.as_slice())
+    }
+}
+
+fn check_payload_len(len: usize) -> NetResult<()> {
     if len > MAX_FRAME_LEN {
         return Err(NetError::FrameTooLarge {
             len,
             max: MAX_FRAME_LEN,
         });
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    Ok(())
+}
+
+/// Builds a [`Frame`] in place: the length prefix is reserved up front and
+/// patched at the end, so the payload is encoded directly into its final
+/// wire position — no scratch buffer, no re-framing copy, and (with a
+/// pooled buffer) no allocation.
+#[derive(Debug)]
+pub struct FrameEncoder {
+    buf: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// Start a frame in `buf` (typically from a [`BufferPool`]): clears it
+    /// and reserves the prefix.
+    #[must_use]
+    pub fn begin(mut buf: Vec<u8>) -> FrameEncoder {
+        buf.clear();
+        buf.extend_from_slice(&[0u8; FRAME_PREFIX_LEN]);
+        FrameEncoder { buf }
+    }
+
+    /// Resume a frame whose buffer was taken with [`into_buf`] so an
+    /// external encoder (e.g. `XdrStream::encoder_into`) could append
+    /// payload bytes behind the reserved prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than the reserved prefix — it did not
+    /// come from [`FrameEncoder::begin`].
+    ///
+    /// [`into_buf`]: FrameEncoder::into_buf
+    #[must_use]
+    pub fn resume(buf: Vec<u8>) -> FrameEncoder {
+        assert!(
+            buf.len() >= FRAME_PREFIX_LEN,
+            "resume() needs a buffer started by FrameEncoder::begin"
+        );
+        FrameEncoder { buf }
+    }
+
+    /// Append payload bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Payload bytes written so far.
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.buf.len() - FRAME_PREFIX_LEN
+    }
+
+    /// Hand the in-progress buffer to an external encoder; pair with
+    /// [`FrameEncoder::resume`].
+    #[must_use]
+    pub fn into_buf(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Patch the length prefix and produce the finished frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::FrameTooLarge`] if the payload outgrew
+    /// [`MAX_FRAME_LEN`].
+    pub fn finish(mut self) -> NetResult<Frame> {
+        let payload_len = self.payload_len();
+        check_payload_len(payload_len)?;
+        let len = u32::try_from(payload_len).expect("MAX_FRAME_LEN fits in u32");
+        self.buf[..FRAME_PREFIX_LEN].copy_from_slice(&len.to_be_bytes());
+        Ok(Frame { wire: self.buf })
+    }
+}
+
+/// Encode `payload` as a finished frame in a single exact-sized
+/// allocation. The reference implementation the property tests check
+/// [`FrameEncoder`] against.
+///
+/// # Errors
+///
+/// Returns [`NetError::FrameTooLarge`] for oversized payloads.
+pub fn encode_frame(payload: &[u8]) -> NetResult<Frame> {
+    Frame::from_payload(payload)
+}
+
+/// Write one frame to `w` from a borrowed payload and flush it.
+///
+/// Uses a scatter-gather (`write_vectored`) submission of prefix and
+/// payload so no combined copy is made. Transports that own a [`Frame`]
+/// skip even this and `write_all` the wire image directly.
+///
+/// # Errors
+///
+/// Returns [`NetError::FrameTooLarge`] for oversized payloads or the
+/// underlying I/O error (peer hangups normalize to [`NetError::Closed`]).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> NetResult<()> {
+    check_payload_len(payload.len())?;
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits in u32");
+    let prefix = len.to_be_bytes();
+    // Manual write_all_vectored: advance across the two slices until both
+    // are fully submitted (write_all_vectored is unstable).
+    let mut written = 0usize;
+    let total = prefix.len() + payload.len();
+    while written < total {
+        let bufs: [IoSlice<'_>; 2] = if written < prefix.len() {
+            [IoSlice::new(&prefix[written..]), IoSlice::new(payload)]
+        } else {
+            [
+                IoSlice::new(&payload[written - prefix.len()..]),
+                IoSlice::new(&[]),
+            ]
+        };
+        let n = w.write_vectored(&bufs)?;
+        if n == 0 {
+            return Err(NetError::Closed);
+        }
+        written += n;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from `r` into a fresh buffer.
+///
+/// # Errors
+///
+/// Returns [`NetError::Closed`] on a clean hangup at a frame boundary,
+/// [`NetError::FrameTooLarge`] for corrupt length prefixes, or the
+/// underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> NetResult<Frame> {
+    read_frame_into(r, Vec::new())
+}
+
+/// Read one frame from `r` into `buf` (typically acquired from a
+/// [`BufferPool`]), reusing its capacity. On error `buf` is lost — error
+/// paths may allocate, the steady state must not.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`].
+pub fn read_frame_into<R: Read>(r: &mut R, mut buf: Vec<u8>) -> NetResult<Frame> {
+    let mut prefix = [0u8; FRAME_PREFIX_LEN];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    check_payload_len(len)?;
+    buf.clear();
+    buf.resize(FRAME_PREFIX_LEN + len, 0);
+    buf[..FRAME_PREFIX_LEN].copy_from_slice(&prefix);
+    r.read_exact(&mut buf[FRAME_PREFIX_LEN..])?;
+    Ok(Frame { wire: buf })
+}
+
+/// Read one frame, drawing the buffer from `pool` when one is attached.
+pub(crate) fn read_frame_pooled<R: Read>(
+    r: &mut R,
+    pool: Option<&BufferPool>,
+) -> NetResult<Frame> {
+    let buf = pool.map_or_else(Vec::new, BufferPool::acquire);
+    read_frame_into(r, buf)
 }
 
 #[cfg(test)]
@@ -120,5 +413,84 @@ mod tests {
             write_frame(&mut NoWrite, &huge).unwrap_err(),
             NetError::FrameTooLarge { .. }
         ));
+    }
+
+    #[test]
+    fn write_frame_survives_partial_vectored_writes() {
+        // A writer that accepts one byte at a time forces the IoSlice
+        // advance loop through every offset.
+        struct OneByte(Vec<u8>);
+        impl Write for OneByte {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                if data.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(data[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = OneByte(Vec::new());
+        write_frame(&mut w, b"dribble").unwrap();
+        let mut cur = Cursor::new(w.0);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"dribble");
+    }
+
+    #[test]
+    fn frame_encoder_matches_encode_frame() {
+        let payload = b"some payload bytes";
+        let mut enc = FrameEncoder::begin(Vec::new());
+        enc.write(&payload[..5]);
+        enc.write(&payload[5..]);
+        let a = enc.finish().unwrap();
+        let b = encode_frame(payload).unwrap();
+        assert_eq!(a.wire(), b.wire(), "wire images must be identical");
+    }
+
+    #[test]
+    fn frame_encoder_reuses_buffer_capacity() {
+        let mut enc = FrameEncoder::begin(Vec::with_capacity(1024));
+        enc.write(&[1u8; 100]);
+        let frame = enc.finish().unwrap();
+        let buf = frame.into_wire();
+        assert_eq!(buf.capacity(), 1024);
+        // Starting the next frame in the same buffer keeps the capacity.
+        let enc = FrameEncoder::begin(buf);
+        assert_eq!(enc.into_buf().capacity(), 1024);
+    }
+
+    #[test]
+    fn frame_encoder_into_buf_resume_round_trip() {
+        let enc = FrameEncoder::begin(Vec::new());
+        let mut buf = enc.into_buf();
+        buf.extend_from_slice(b"externally encoded");
+        let frame = FrameEncoder::resume(buf).finish().unwrap();
+        assert_eq!(frame, b"externally encoded");
+    }
+
+    #[test]
+    fn frame_derefs_to_payload_and_exposes_wire() {
+        let frame = Frame::from_payload(b"abc").unwrap();
+        assert_eq!(&*frame, b"abc");
+        assert_eq!(frame.wire(), &[0, 0, 0, 3, b'a', b'b', b'c']);
+        assert_eq!(Frame::from_wire(frame.clone().into_wire()).unwrap(), frame);
+    }
+
+    #[test]
+    fn from_wire_rejects_inconsistent_prefix() {
+        assert!(Frame::from_wire(vec![0, 0]).is_err());
+        assert!(Frame::from_wire(vec![0, 0, 0, 9, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"pooled").unwrap();
+        let buf = Vec::with_capacity(4096);
+        let frame = read_frame_into(&mut Cursor::new(stream), buf).unwrap();
+        assert_eq!(frame, b"pooled");
+        assert_eq!(frame.into_wire().capacity(), 4096);
     }
 }

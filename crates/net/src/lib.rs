@@ -22,7 +22,7 @@
 //! # Example
 //!
 //! ```rust
-//! use clam_net::{connect, listen, Endpoint};
+//! use clam_net::{connect, listen, Endpoint, Frame};
 //!
 //! # fn main() -> Result<(), clam_net::NetError> {
 //! let listener = listen(&Endpoint::in_proc("example"))?;
@@ -31,7 +31,7 @@
 //!
 //! let (mut ctx, _crx) = client.split();
 //! let (_stx, mut srx) = server.split();
-//! ctx.send(b"hello")?;
+//! ctx.send(Frame::from(b"hello"))?;
 //! assert_eq!(srx.recv()?, b"hello");
 //! # Ok(())
 //! # }
@@ -49,8 +49,15 @@ mod wan;
 pub use channel::{pair, Channel, MsgReader, MsgWriter};
 pub use endpoint::Endpoint;
 pub use error::{NetError, NetResult};
-pub use frame::MAX_FRAME_LEN;
+pub use frame::{
+    encode_frame, read_frame, read_frame_into, write_frame, Frame, FrameEncoder, FRAME_PREFIX_LEN,
+    MAX_FRAME_LEN,
+};
 pub use wan::WanConfig;
+
+// Re-exported so transport users can build one pool and attach it to
+// writers, readers, and encoders without importing `clam-xdr` directly.
+pub use clam_xdr::BufferPool;
 
 use std::sync::Arc;
 

@@ -4,30 +4,46 @@
 use crate::channel::{Channel, MsgReader, MsgWriter};
 use crate::endpoint::Endpoint;
 use crate::error::NetResult;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame_pooled, Frame};
 use crate::Listener;
-use std::io::BufReader;
+use clam_xdr::BufferPool;
+use std::io::{BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 struct UnixWriter {
     stream: UnixStream,
+    pool: Option<BufferPool>,
 }
 
 impl MsgWriter for UnixWriter {
-    fn send(&mut self, frame: &[u8]) -> NetResult<()> {
-        write_frame(&mut self.stream, frame)
+    fn send(&mut self, frame: Frame) -> NetResult<()> {
+        // The frame already is its wire image: one write_all, no copy.
+        self.stream.write_all(frame.wire())?;
+        if let Some(pool) = &self.pool {
+            pool.recycle(frame.into_wire());
+        }
+        Ok(())
+    }
+
+    fn attach_pool(&mut self, pool: &BufferPool) {
+        self.pool = Some(pool.clone());
     }
 }
 
 struct UnixMsgReader {
     stream: BufReader<UnixStream>,
+    pool: Option<BufferPool>,
 }
 
 impl MsgReader for UnixMsgReader {
-    fn recv(&mut self) -> NetResult<Vec<u8>> {
-        read_frame(&mut self.stream)
+    fn recv(&mut self) -> NetResult<Frame> {
+        read_frame_pooled(&mut self.stream, self.pool.as_ref())
+    }
+
+    fn attach_pool(&mut self, pool: &BufferPool) {
+        self.pool = Some(pool.clone());
     }
 }
 
@@ -35,9 +51,10 @@ pub(crate) fn channel_from_stream(label: &str, stream: UnixStream) -> NetResult<
     let read_half = stream.try_clone()?;
     Ok(Channel::from_halves(
         label,
-        Box::new(UnixWriter { stream }),
+        Box::new(UnixWriter { stream, pool: None }),
         Box::new(UnixMsgReader {
             stream: BufReader::new(read_half),
+            pool: None,
         }),
     ))
 }

@@ -15,7 +15,9 @@
 use crate::channel::{Channel, MsgReader};
 use crate::endpoint::Endpoint;
 use crate::error::NetResult;
+use crate::frame::Frame;
 use crate::{tcp, Listener};
+use clam_xdr::BufferPool;
 use rand::Rng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,7 +60,7 @@ struct DelayedReader {
 }
 
 impl MsgReader for DelayedReader {
-    fn recv(&mut self) -> NetResult<Vec<u8>> {
+    fn recv(&mut self) -> NetResult<Frame> {
         let frame = self.inner.recv()?;
         let arrived = Instant::now();
         let mut hold = self.config.one_way_latency;
@@ -72,6 +74,10 @@ impl MsgReader for DelayedReader {
             std::thread::sleep(deliver_at - now);
         }
         Ok(frame)
+    }
+
+    fn attach_pool(&mut self, pool: &BufferPool) {
+        self.inner.attach_pool(pool);
     }
 }
 

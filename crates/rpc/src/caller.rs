@@ -14,10 +14,10 @@
 //! special synchronization procedure.
 
 use crate::error::{RpcError, RpcResult, StatusCode};
-use crate::message::{Call, Message, Reply, Target};
+use crate::message::{BatchEncoder, Call, Message, Reply, Target};
 use clam_net::{MsgReader, MsgWriter};
 use clam_task::{Event, Scheduler};
-use clam_xdr::Opaque;
+use clam_xdr::{BufferPool, Opaque};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,19 +49,25 @@ pub fn in_nested_context() -> bool {
 }
 
 /// Tuning knobs for the batcher.
+///
+/// The thresholds are *adaptive flush* points: a long run of async calls
+/// streams out in frame-sized chunks instead of accumulating one huge
+/// batch, so transport writes overlap with the application still issuing
+/// calls and the pooled frame buffer's capacity stays bounded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CallerConfig {
     /// Flush automatically once this many async calls are batched.
-    pub max_batch_calls: usize,
-    /// Flush automatically once the batched argument bytes exceed this.
-    pub max_batch_bytes: usize,
+    pub flush_at_calls: usize,
+    /// Flush automatically once the encoded batch payload exceeds this
+    /// many bytes.
+    pub flush_at_bytes: usize,
 }
 
 impl Default for CallerConfig {
     fn default() -> Self {
         CallerConfig {
-            max_batch_calls: 64,
-            max_batch_bytes: 64 * 1024,
+            flush_at_calls: 64,
+            flush_at_bytes: 64 * 1024,
         }
     }
 }
@@ -73,8 +79,11 @@ struct ReplyWait {
 
 struct Outbound {
     writer: Box<dyn MsgWriter>,
-    batch: Vec<Call>,
-    batch_bytes: usize,
+    /// The in-progress batch, already in wire form: calls are encoded
+    /// directly into this pooled frame buffer as they are issued, so a
+    /// flush only patches two headers and hands the buffer to the
+    /// transport — no `Vec<Call>`, no re-encode, no copy.
+    batch: Option<BatchEncoder>,
     batches_sent: u64,
     calls_sent: u64,
 }
@@ -92,6 +101,8 @@ pub struct Caller {
     next_request: AtomicU64,
     closed: AtomicBool,
     config: CallerConfig,
+    /// Buffers cycle: acquire → encode batch → send → transport recycles.
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for Caller {
@@ -106,14 +117,22 @@ impl std::fmt::Debug for Caller {
 impl Caller {
     /// Create a caller writing to `writer`; wire a reply pump (see
     /// [`Caller::pump_replies`]) to the matching reader.
+    ///
+    /// The caller's [`BufferPool`] is attached to `writer`, so every sent
+    /// frame's buffer comes straight back for the next batch.
     #[must_use]
-    pub fn new(sched: &Scheduler, writer: Box<dyn MsgWriter>, config: CallerConfig) -> Arc<Caller> {
+    pub fn new(
+        sched: &Scheduler,
+        mut writer: Box<dyn MsgWriter>,
+        config: CallerConfig,
+    ) -> Arc<Caller> {
+        let pool = BufferPool::default();
+        writer.attach_pool(&pool);
         Arc::new(Caller {
             sched: sched.clone(),
             out: Mutex::new(Outbound {
                 writer,
-                batch: Vec::new(),
-                batch_bytes: 0,
+                batch: None,
                 batches_sent: 0,
                 calls_sent: 0,
             }),
@@ -121,7 +140,14 @@ impl Caller {
             next_request: AtomicU64::new(1),
             closed: AtomicBool::new(false),
             config,
+            pool,
         })
+    }
+
+    /// The caller's wire-buffer pool (for diagnostics and tests).
+    #[must_use]
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Synchronous call: flushes any pending batch (ahead of this call,
@@ -151,27 +177,30 @@ impl Caller {
                 // Flush whatever the application batched first (its own
                 // ordinary frame), then send the nested call alone in a
                 // NestedCallBatch so only IT jumps the server's queue.
-                Self::flush_locked(&mut out).and_then(|()| {
+                self.flush_locked(&mut out).and_then(|()| {
                     out.calls_sent += 1;
                     out.batches_sent += 1;
-                    let frame = Message::NestedCallBatch(vec![Call {
+                    let mut enc = BatchEncoder::begin_nested(self.pool.acquire());
+                    enc.push(Call {
                         request_id,
                         target,
                         method,
                         args,
-                    }])
-                    .to_frame()?;
-                    out.writer.send(&frame)?;
+                    })?;
+                    out.writer.send(enc.finish()?)?;
                     Ok(())
                 })
             } else {
-                out.batch.push(Call {
-                    request_id,
-                    target,
-                    method,
-                    args,
-                });
-                Self::flush_locked(&mut out)
+                self.append_locked(
+                    &mut out,
+                    Call {
+                        request_id,
+                        target,
+                        method,
+                        args,
+                    },
+                )
+                .and_then(|()| self.flush_locked(&mut out))
             }
         };
         if let Err(e) = send_result {
@@ -196,17 +225,24 @@ impl Caller {
             return Err(RpcError::Disconnected);
         }
         let mut out = self.out.lock();
-        out.batch_bytes += args.len();
-        out.batch.push(Call {
-            request_id: 0,
-            target,
-            method,
-            args,
+        self.append_locked(
+            &mut out,
+            Call {
+                request_id: 0,
+                target,
+                method,
+                args,
+            },
+        )?;
+        // Adaptive flush: once the wire form crosses either threshold the
+        // chunk streams out immediately, overlapping transport writes with
+        // further call issue.
+        let full = out.batch.as_ref().is_some_and(|b| {
+            b.calls() as usize >= self.config.flush_at_calls
+                || b.payload_len() >= self.config.flush_at_bytes
         });
-        if out.batch.len() >= self.config.max_batch_calls
-            || out.batch_bytes >= self.config.max_batch_bytes
-        {
-            Self::flush_locked(&mut out)?;
+        if full {
+            self.flush_locked(&mut out)?;
         }
         Ok(())
     }
@@ -217,19 +253,30 @@ impl Caller {
     ///
     /// Transport errors.
     pub fn flush(&self) -> RpcResult<()> {
-        Self::flush_locked(&mut self.out.lock())
+        self.flush_locked(&mut self.out.lock())
     }
 
-    fn flush_locked(out: &mut Outbound) -> RpcResult<()> {
-        if out.batch.is_empty() {
+    /// Encode `call` onto the in-progress wire batch, starting one in a
+    /// pooled buffer if none is open.
+    fn append_locked(&self, out: &mut Outbound, call: Call) -> RpcResult<()> {
+        let batch = out
+            .batch
+            .get_or_insert_with(|| BatchEncoder::begin(self.pool.acquire()));
+        batch.push(call)?;
+        Ok(())
+    }
+
+    fn flush_locked(&self, out: &mut Outbound) -> RpcResult<()> {
+        let Some(batch) = out.batch.take() else {
+            return Ok(());
+        };
+        if batch.is_empty() {
+            self.pool.recycle(batch.abandon());
             return Ok(());
         }
-        let calls = std::mem::take(&mut out.batch);
-        out.batch_bytes = 0;
-        out.calls_sent += calls.len() as u64;
+        out.calls_sent += u64::from(batch.calls());
         out.batches_sent += 1;
-        let frame = Message::CallBatch(calls).to_frame()?;
-        out.writer.send(&frame)?;
+        out.writer.send(batch.finish()?)?;
         Ok(())
     }
 
@@ -284,13 +331,11 @@ impl Caller {
     /// Spawn this on a dedicated OS thread (it plays the kernel's role of
     /// delivering I/O, so it must not be a task of the scheduler).
     pub fn pump_replies(self: &Arc<Self>, mut reader: Box<dyn MsgReader>) {
-        loop {
-            let frame = match reader.recv() {
-                Ok(f) => f,
-                Err(_) => break,
-            };
+        reader.attach_pool(&self.pool);
+        while let Ok(frame) = reader.recv() {
             match Message::from_frame(&frame) {
                 Ok(Message::Reply(reply)) => {
+                    self.pool.recycle(frame.into_wire());
                     self.handle_reply(reply);
                 }
                 Ok(_) | Err(_) => break, // protocol violation: drop link
@@ -308,18 +353,16 @@ impl Caller {
         self: &Arc<Self>,
         mut reader: Box<dyn MsgReader>,
     ) -> std::thread::JoinHandle<()> {
+        reader.attach_pool(&self.pool);
         let weak = Arc::downgrade(self);
         std::thread::Builder::new()
             .name("clam-rpc-reply-pump".to_string())
             .spawn(move || {
-                loop {
-                    let frame = match reader.recv() {
-                        Ok(f) => f,
-                        Err(_) => break,
-                    };
+                while let Ok(frame) = reader.recv() {
                     let Some(caller) = weak.upgrade() else { break };
                     match Message::from_frame(&frame) {
                         Ok(Message::Reply(reply)) => {
+                            caller.pool.recycle(frame.into_wire());
                             caller.handle_reply(reply);
                         }
                         Ok(_) | Err(_) => break,
@@ -364,7 +407,7 @@ mod tests {
                             detail: String::new(),
                             results: call.args.clone(),
                         });
-                        server.send(&reply.to_frame().unwrap()).unwrap();
+                        server.send(reply.to_frame().unwrap()).unwrap();
                     }
                 }
             }
@@ -430,8 +473,8 @@ mod tests {
             &sched,
             w,
             CallerConfig {
-                max_batch_calls: 4,
-                max_batch_bytes: usize::MAX,
+                flush_at_calls: 4,
+                flush_at_bytes: usize::MAX,
             },
         );
         for _ in 0..4 {
@@ -440,7 +483,7 @@ mod tests {
                 .unwrap();
         }
         let (batches, _) = caller.send_stats();
-        assert_eq!(batches, 1, "hit max_batch_calls");
+        assert_eq!(batches, 1, "hit flush_at_calls");
         drop(server);
     }
 
@@ -463,7 +506,7 @@ mod tests {
                 detail: "gone".to_string(),
                 results: Opaque::new(),
             });
-            server.send(&reply.to_frame().unwrap()).unwrap();
+            server.send(reply.to_frame().unwrap()).unwrap();
             server
         });
         let err = caller

@@ -9,9 +9,10 @@ pub type RpcResult<T> = Result<T, RpcError>;
 
 clam_xdr::bundle_enum! {
     /// Wire status of a completed call (the reply's verdict).
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
     pub enum StatusCode {
         /// The call completed; results follow.
+        #[default]
         Ok = 0,
         /// No builtin service with the requested id.
         NoSuchService = 1,

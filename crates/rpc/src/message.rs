@@ -7,7 +7,8 @@
 
 use crate::error::StatusCode;
 use crate::handle::Handle;
-use clam_xdr::{Bundle, Opaque, XdrError, XdrResult, XdrStream};
+use clam_net::{Frame, FrameEncoder, MAX_FRAME_LEN};
+use clam_xdr::{Bundle, BufferPool, Opaque, XdrError, XdrResult, XdrStream};
 
 /// What a call is aimed at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,12 +100,6 @@ clam_xdr::bundle_struct! {
         pub detail: String,
         /// Bundled results (empty unless `Ok`).
         pub results: Opaque,
-    }
-}
-
-impl Default for StatusCode {
-    fn default() -> Self {
-        StatusCode::Ok
     }
 }
 
@@ -215,6 +210,136 @@ impl Message {
     pub fn from_frame(frame: &[u8]) -> XdrResult<Message> {
         clam_xdr::decode(frame)
     }
+
+    /// Encode to a finished wire [`Frame`] in a buffer from `pool`.
+    ///
+    /// The length prefix is reserved up front and the message encoded
+    /// directly behind it, so this is one in-place encode: no scratch
+    /// `Vec`, no re-framing copy, and — with a warm pool — no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bundling errors; an over-[`MAX_FRAME_LEN`] message
+    /// reports [`XdrError::LengthTooLarge`].
+    pub fn to_frame_in(&self, pool: &BufferPool) -> XdrResult<Frame> {
+        let enc = FrameEncoder::begin(pool.acquire());
+        let mut stream = XdrStream::encoder_into(enc.into_buf());
+        self.encode_onto(&mut stream)?;
+        finish_frame(FrameEncoder::resume(stream.into_bytes()))
+    }
+}
+
+fn finish_frame(enc: FrameEncoder) -> XdrResult<Frame> {
+    let len = enc.payload_len();
+    enc.finish().map_err(|_| XdrError::LengthTooLarge {
+        len,
+        max: MAX_FRAME_LEN,
+    })
+}
+
+/// Incrementally encodes a [`Message::CallBatch`] (or
+/// [`Message::NestedCallBatch`]) wire frame call by call.
+///
+/// The wire image is `[length prefix][kind][count][call…]`; the prefix and
+/// a zero `count` are reserved when the encoder begins, each
+/// [`push`](BatchEncoder::push) bundles one call directly onto the end,
+/// and [`finish`](BatchEncoder::finish) patches `count` and the prefix.
+/// The result is byte-identical to `Message::CallBatch(calls).to_frame()`
+/// framed — without ever materializing the `Vec<Call>` or copying the
+/// payload into a second buffer. This is the batching client's hot path
+/// (paper section 3.4): with a pooled buffer, batched async calls
+/// allocate nothing at steady state.
+#[derive(Debug)]
+pub struct BatchEncoder {
+    buf: Vec<u8>,
+    calls: u32,
+}
+
+/// Wire offset of the batch's element count: behind the 4-byte frame
+/// prefix and the 4-byte message kind.
+const BATCH_COUNT_OFFSET: usize = clam_net::FRAME_PREFIX_LEN + 4;
+
+impl BatchEncoder {
+    /// Start an ordinary call batch in `buf` (typically pool-acquired).
+    #[must_use]
+    pub fn begin(buf: Vec<u8>) -> BatchEncoder {
+        BatchEncoder::begin_kind(buf, MSG_CALL_BATCH)
+    }
+
+    /// Start a nested call batch (see [`Message::NestedCallBatch`]).
+    #[must_use]
+    pub fn begin_nested(buf: Vec<u8>) -> BatchEncoder {
+        BatchEncoder::begin_kind(buf, MSG_NESTED_CALL_BATCH)
+    }
+
+    fn begin_kind(buf: Vec<u8>, kind: u32) -> BatchEncoder {
+        let mut enc = FrameEncoder::begin(buf);
+        enc.write(&kind.to_be_bytes());
+        enc.write(&0u32.to_be_bytes()); // count, patched in finish()
+        BatchEncoder {
+            buf: enc.into_buf(),
+            calls: 0,
+        }
+    }
+
+    /// Bundle one call onto the end of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bundling errors; the partial bytes of a failed call are
+    /// rolled back so the batch stays well-formed.
+    pub fn push(&mut self, call: Call) -> XdrResult<()> {
+        let rollback = self.buf.len();
+        let mut stream = XdrStream::encoder_into(std::mem::take(&mut self.buf));
+        let result = Call::bundle(&mut stream, &mut Some(call));
+        self.buf = stream.into_bytes();
+        match result {
+            Ok(()) => {
+                self.calls += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.buf.truncate(rollback);
+                Err(e)
+            }
+        }
+    }
+
+    /// Calls pushed so far.
+    #[must_use]
+    pub fn calls(&self) -> u32 {
+        self.calls
+    }
+
+    /// True if no calls have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.calls == 0
+    }
+
+    /// Payload bytes accumulated so far (kind + count + calls).
+    #[must_use]
+    pub fn payload_len(&self) -> usize {
+        self.buf.len() - clam_net::FRAME_PREFIX_LEN
+    }
+
+    /// Abandon the batch, returning the buffer for recycling.
+    #[must_use]
+    pub fn abandon(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Patch the call count and length prefix; return the finished frame.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`XdrError::LengthTooLarge`] if the batch outgrew
+    /// [`MAX_FRAME_LEN`].
+    pub fn finish(mut self) -> XdrResult<Frame> {
+        self.buf[BATCH_COUNT_OFFSET..BATCH_COUNT_OFFSET + 4]
+            .copy_from_slice(&self.calls.to_be_bytes());
+        finish_frame(FrameEncoder::resume(self.buf))
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +417,63 @@ mod tests {
     fn unknown_message_kind_is_rejected() {
         let frame = clam_xdr::encode(&99u32).unwrap();
         assert!(Message::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn batch_encoder_is_byte_identical_to_to_frame() {
+        let calls = vec![sample_call(0), sample_call(7), sample_call(0)];
+        let mut enc = BatchEncoder::begin(Vec::new());
+        for c in &calls {
+            enc.push(c.clone()).unwrap();
+        }
+        assert_eq!(enc.calls(), 3);
+        let frame = enc.finish().unwrap();
+        let reference = Message::CallBatch(calls).to_frame().unwrap();
+        assert_eq!(frame.payload(), reference.as_slice());
+        let reference_frame = clam_net::encode_frame(&reference).unwrap();
+        assert_eq!(frame.wire(), reference_frame.wire());
+    }
+
+    #[test]
+    fn nested_batch_encoder_is_byte_identical_too() {
+        let calls = vec![sample_call(3)];
+        let mut enc = BatchEncoder::begin_nested(Vec::new());
+        enc.push(calls[0].clone()).unwrap();
+        let frame = enc.finish().unwrap();
+        assert!(Message::frame_is_nested(&frame));
+        let reference = Message::NestedCallBatch(calls).to_frame().unwrap();
+        assert_eq!(frame.payload(), reference.as_slice());
+    }
+
+    #[test]
+    fn empty_batch_encoder_matches_empty_call_batch() {
+        let frame = BatchEncoder::begin(Vec::new()).finish().unwrap();
+        let reference = Message::CallBatch(Vec::new()).to_frame().unwrap();
+        assert_eq!(frame.payload(), reference.as_slice());
+    }
+
+    #[test]
+    fn to_frame_in_matches_to_frame() {
+        let pool = BufferPool::default();
+        for msg in [
+            Message::CallBatch(vec![sample_call(0), sample_call(2)]),
+            Message::Reply(Reply {
+                request_id: 5,
+                status: StatusCode::Ok,
+                detail: String::new(),
+                results: Opaque::from(vec![8; 9]),
+            }),
+            Message::Upcall(UpcallMsg {
+                proc_id: 1,
+                request_id: 2,
+                args: Opaque::from(vec![3]),
+            }),
+        ] {
+            let pooled = msg.to_frame_in(&pool).unwrap();
+            assert_eq!(pooled.payload(), msg.to_frame().unwrap().as_slice());
+            pool.recycle(pooled.into_wire());
+        }
+        assert!(pool.stats().recycled >= 3);
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn serve(mut chan: clam_net::Channel, reverse: bool) -> std::thread::JoinHandle<
                 replies.reverse();
             }
             for r in replies {
-                if chan.send(&Message::Reply(r).to_frame().unwrap()).is_err() {
+                if chan.send(Message::Reply(r).to_frame().unwrap()).is_err() {
                     return;
                 }
             }
@@ -139,7 +139,7 @@ fn async_and_sync_interleave_without_loss() {
                     results: Opaque::new(),
                 };
                 if server
-                    .send(&Message::Reply(reply).to_frame().unwrap())
+                    .send(Message::Reply(reply).to_frame().unwrap())
                     .is_err()
                 {
                     return;

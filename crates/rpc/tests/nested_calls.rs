@@ -100,7 +100,7 @@ fn calls_in_nested_scope_use_nested_frames_and_flush_first() {
             detail: String::new(),
             results: Opaque::new(),
         });
-        server_ch.send(&reply.to_frame().unwrap()).unwrap();
+        server_ch.send(reply.to_frame().unwrap()).unwrap();
     });
 
     nested_call_scope(|| {
@@ -128,7 +128,7 @@ fn calls_outside_nested_scope_stay_plain() {
             detail: String::new(),
             results: Opaque::new(),
         });
-        server_ch.send(&reply.to_frame().unwrap()).unwrap();
+        server_ch.send(reply.to_frame().unwrap()).unwrap();
     });
     caller.call(Target::Builtin(1), 1, Opaque::new()).unwrap();
     srv.join().unwrap();

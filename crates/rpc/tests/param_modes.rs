@@ -129,7 +129,7 @@ fn hand_stubbed_call_works_end_to_end() {
             detail: String::new(),
             results,
         });
-        server_ch.send(&reply.to_frame().unwrap()).unwrap();
+        server_ch.send(reply.to_frame().unwrap()).unwrap();
     });
 
     let args = bundle_request(3, &[1, 2, 3]);

@@ -15,9 +15,6 @@ enum Action {
     Yield,
     /// Signal event `i`.
     Signal(u8),
-    /// Wait on event `i` (only generated when a matching signal is
-    /// guaranteed to exist; see `arb_program`).
-    Wait(u8),
 }
 
 fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
@@ -53,7 +50,6 @@ proptest! {
                         Action::Log => {}
                         Action::Yield => sched2.yield_now(),
                         Action::Signal(i) => events[*i as usize % 4].signal(),
-                        Action::Wait(_) => unreachable!("not generated here"),
                     }
                 }
                 completions.fetch_add(1, Ordering::SeqCst);

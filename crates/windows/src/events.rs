@@ -12,20 +12,15 @@ use std::collections::VecDeque;
 
 clam_xdr::bundle_enum! {
     /// Which mouse button an event concerns.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
     pub enum MouseButton {
         /// Left button.
+        #[default]
         Left = 0,
         /// Middle button.
         Middle = 1,
         /// Right button.
         Right = 2,
-    }
-}
-
-impl Default for MouseButton {
-    fn default() -> Self {
-        MouseButton::Left
     }
 }
 

@@ -604,7 +604,7 @@ mod tests {
         assert_eq!(d.window_count().unwrap(), 1);
         assert_eq!(d.window_frame(id).unwrap(), Rect::new(10, 10, 60, 40));
         // Chrome landed on the framebuffer.
-        assert!(d.count_pixels(crate::window::colors::TITLE_BAR as u32).unwrap() > 0);
+        assert!(d.count_pixels(crate::window::colors::TITLE_BAR).unwrap() > 0);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! A shared pool of reusable byte buffers for the wire path.
+//!
+//! The zero-copy encode→frame→send pipeline moves each frame's backing
+//! `Vec<u8>` end to end: the batcher encodes into a pooled buffer, the
+//! transport writes it and recycles it here, and the next call acquires it
+//! back with its capacity intact. At steady state no wire-path allocation
+//! happens at all — every buffer in flight came from (and returns to) a
+//! [`BufferPool`].
+//!
+//! The pool lives in `clam-xdr` (the lowest crate on the wire path) so the
+//! encoder, the framing layer, and the transports can all share one type
+//! without a dependency cycle. It uses `std::sync::Mutex` directly to keep
+//! this crate dependency-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default maximum number of idle buffers retained per pool.
+pub const DEFAULT_MAX_BUFFERS: usize = 32;
+
+/// Default high-water capacity: a recycled buffer holding more than this
+/// is trimmed back so one huge frame cannot pin its capacity forever.
+pub const DEFAULT_TRIM_CAPACITY: usize = 256 * 1024;
+
+/// Counters describing how a pool has been used (see [`BufferPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from the free list (no allocation).
+    pub hits: u64,
+    /// Acquisitions that fell through to `Vec::new` (the buffer may still
+    /// defer its first allocation until bytes are written).
+    pub misses: u64,
+    /// Buffers returned via [`BufferPool::recycle`].
+    pub recycled: u64,
+    /// Recycled buffers dropped because the free list was full.
+    pub dropped: u64,
+}
+
+struct PoolInner {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_buffers: usize,
+    trim_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A thread-safe pool of reusable `Vec<u8>` buffers.
+///
+/// Cloning a `BufferPool` produces another handle to the *same* pool, so
+/// the handle can be attached to writers, readers, and pump threads that
+/// all feed one free list.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_buffers` idle buffers, each trimmed
+    /// to at most `trim_capacity` bytes of capacity on recycle.
+    #[must_use]
+    pub fn new(max_buffers: usize, trim_capacity: usize) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::with_capacity(max_buffers)),
+                max_buffers,
+                trim_capacity,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Take a cleared buffer from the pool, or a fresh empty one if the
+    /// pool is dry. The returned buffer has `len() == 0`; a pooled buffer
+    /// keeps its previous capacity, which is the whole point.
+    #[must_use]
+    pub fn acquire(&self) -> Vec<u8> {
+        let popped = {
+            let mut free = self.inner.free.lock().unwrap_or_else(|e| e.into_inner());
+            free.pop()
+        };
+        match popped {
+            Some(buf) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(buf.is_empty(), "pooled buffers are stored cleared");
+                buf
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a spent buffer to the pool. The buffer is cleared; capacity
+    /// above the high-water mark is trimmed; if the pool is already full
+    /// the buffer is dropped.
+    pub fn recycle(&self, mut buf: Vec<u8>) {
+        self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+        buf.clear();
+        if buf.capacity() > self.inner.trim_capacity {
+            buf.shrink_to(self.inner.trim_capacity);
+        }
+        let mut free = self.inner.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < self.inner.max_buffers {
+            free.push(buf);
+        } else {
+            drop(free);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Usage counters since the pool was created.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new(DEFAULT_MAX_BUFFERS, DEFAULT_TRIM_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("idle", &self.idle())
+            .field("max_buffers", &self.inner.max_buffers)
+            .field("trim_capacity", &self.inner.trim_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_recycle_retains_capacity() {
+        let pool = BufferPool::default();
+        let mut buf = pool.acquire();
+        buf.extend_from_slice(&[0u8; 1024]);
+        let cap = buf.capacity();
+        pool.recycle(buf);
+
+        let buf = pool.acquire();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "capacity survives the round trip");
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn clones_share_one_free_list() {
+        let pool = BufferPool::default();
+        let other = pool.clone();
+        other.recycle(Vec::with_capacity(64));
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.acquire().capacity(), 64);
+    }
+
+    #[test]
+    fn full_pool_drops_excess_buffers() {
+        let pool = BufferPool::new(2, usize::MAX);
+        for _ in 0..3 {
+            pool.recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().dropped, 1);
+    }
+
+    #[test]
+    fn oversized_buffers_are_trimmed_on_recycle() {
+        let pool = BufferPool::new(4, 128);
+        pool.recycle(Vec::with_capacity(4096));
+        let buf = pool.acquire();
+        assert!(
+            buf.capacity() <= 4096 && buf.capacity() >= 128,
+            "capacity {} should be trimmed toward the high-water mark",
+            buf.capacity()
+        );
+        assert!(buf.capacity() < 4096, "trim must shed the spike");
+    }
+
+    #[test]
+    fn steady_state_acquire_is_allocation_free_in_capacity_terms() {
+        let pool = BufferPool::default();
+        // Prime the pool.
+        let mut buf = pool.acquire();
+        buf.extend_from_slice(&[7u8; 512]);
+        pool.recycle(buf);
+        // Ten round trips must all be hits.
+        for _ in 0..10 {
+            let mut buf = pool.acquire();
+            buf.extend_from_slice(&[7u8; 512]);
+            pool.recycle(buf);
+        }
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().hits, 10);
+    }
+}

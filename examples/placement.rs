@@ -42,7 +42,7 @@ impl ThirdsFilter {
 
     fn event(&self, value: u32) -> RpcResult<()> {
         let n = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
-        if n % 3 == 0 {
+        if n.is_multiple_of(3) {
             // Propagate the asynchrony (section 2): the filter does not
             // wait for the upper layer, wherever it lives.
             let _ = self.upper.post_async(&value)?;

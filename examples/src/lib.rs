@@ -72,9 +72,9 @@ pub fn ascii_screen(desktop: &DesktopProxy, cols: u32, rows: u32) -> String {
                 .expect("pixel");
             out.push(match px {
                 0 => '.',
-                p if p == clam_windows::window::colors::TITLE_BAR as u32 => '#',
-                p if p == clam_windows::window::colors::BACKGROUND as u32 => ' ',
-                p if p == clam_windows::window::colors::BORDER as u32 => '+',
+                p if p == clam_windows::window::colors::TITLE_BAR => '#',
+                p if p == clam_windows::window::colors::BACKGROUND => ' ',
+                p if p == clam_windows::window::colors::BORDER => '+',
                 _ => '*',
             });
         }

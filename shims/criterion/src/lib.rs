@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the `clam-bench` benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_custom`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a plain
+//! calibrate → warm up → sample loop (no bootstrap statistics); each
+//! benchmark's mean and median are printed and written to
+//! `target/criterion/<id>/new/estimates.json` in a criterion-compatible
+//! shape so downstream tooling (BENCH_*.json emitters) can collect them.
+//!
+//! `--test` on the command line (as passed by
+//! `cargo bench -- --test`) runs every benchmark body exactly once — the
+//! CI smoke mode.
+
+pub use std::hint::black_box;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle; one per bench binary.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut group = self.benchmark_group(id.to_string());
+        group.run(id.to_string(), f);
+    }
+}
+
+/// How a measurement is reported per unit of work. Recorded for API
+/// compatibility; the shim reports wall-clock time only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total sampling time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Record the group's throughput basis (reported as-is; the shim does
+    /// not normalize times by it).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run(id, f);
+        self
+    }
+
+    /// Benchmark a closure over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (drop would do the same; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full_id = format!("{}/{id}", self.name);
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {full_id} ... ok");
+            return;
+        }
+
+        // Calibrate: find an iteration count that runs for >= ~5 ms.
+        let mut iters: u64 = 1;
+        let mut per_iter;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 30 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Warm up for the configured time.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        }
+
+        // Sample.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let sample_iters = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+        let mut sample_means: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            sample_means.push(b.elapsed.as_secs_f64() * 1e9 / sample_iters as f64);
+        }
+        sample_means.sort_by(|a, b| a.total_cmp(b));
+        let mean_ns = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        let median_ns = sample_means[sample_means.len() / 2];
+
+        println!(
+            "{full_id:<40} time: [{} {} {}]",
+            format_ns(sample_means[0]),
+            format_ns(median_ns),
+            format_ns(sample_means[sample_means.len() - 1]),
+        );
+        write_estimates(&full_id, mean_ns, median_ns);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn criterion_dir() -> PathBuf {
+    if let Some(t) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(t).join("criterion");
+    }
+    // Bench binaries run with cwd = package dir; walk up to the workspace
+    // root (the directory holding Cargo.lock) so all benches share one
+    // target/criterion tree.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("target/criterion");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("target/criterion"),
+        }
+    }
+}
+
+fn write_estimates(full_id: &str, mean_ns: f64, median_ns: f64) {
+    let mut dir = criterion_dir();
+    for part in full_id.split('/') {
+        // Sanitize: ids may contain characters awkward in paths.
+        let part: String = part
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            })
+            .collect();
+        dir.push(part);
+    }
+    dir.push("new");
+    if fs::create_dir_all(&dir).is_err() {
+        return; // benches must not fail over reporting
+    }
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"mean\":{{\"point_estimate\":{mean_ns}}},\"median\":{{\"point_estimate\":{median_ns}}}}}"
+    );
+    let _ = fs::write(dir.join("estimates.json"), json);
+}
+
+/// Passed to each benchmark closure; runs the timed body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the closure do its own timing over the given iteration count.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn benchmark_id_joins_function_and_param() {
+        let id = BenchmarkId::new("batched", 512);
+        assert_eq!(id.id, "batched/512");
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(1.5).ends_with("ns"));
+        assert!(format_ns(1500.0).ends_with("µs"));
+        assert!(format_ns(1.5e6).ends_with("ms"));
+        assert!(format_ns(2.5e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of `parking_lot`'s API that `clam-rs` uses, backed
+//! by `std::sync` primitives. The semantic difference that matters — and
+//! that this shim preserves — is that locks do not poison: a panic while
+//! holding a guard leaves the lock usable, exactly as in `parking_lot`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive with `parking_lot`'s non-poisoning API.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex. `const` so it can back `static` items.
+    #[must_use]
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the data.
+    #[must_use]
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (the caller holds `&mut`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+///
+/// Holds an `Option` internally so [`Condvar::wait`] can temporarily take
+/// the underlying std guard (std's wait consumes it) and put it back —
+/// giving `parking_lot`'s `wait(&mut guard)` signature on std foundations.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s non-poisoning API.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    #[must_use]
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the data.
+    #[must_use]
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self
+                .inner
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self
+                .inner
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`], `parking_lot` style:
+/// `wait` borrows the guard mutably instead of consuming it.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    #[must_use]
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and block until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Wake one waiter. The return value (did anything wake) is a
+    /// best-effort `false` here; no caller in this workspace consults it.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        false
+    }
+
+    /// Wake all waiters. Returns 0 for the same reason as
+    /// [`notify_one`](Condvar::notify_one).
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_locks_and_releases() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_survives_panic_without_poisoning() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "lock usable after a panic");
+    }
+
+    #[test]
+    fn rwlock_allows_many_readers() {
+        let l = RwLock::new(5);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 10);
+        drop((r1, r2));
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn condvar_wait_round_trips_the_guard() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join().unwrap();
+    }
+}

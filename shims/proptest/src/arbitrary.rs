@@ -1,0 +1,103 @@
+//! `any::<T>()` — full-domain strategies for primitives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A type with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Any<T> {}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Bias toward boundary values: encoders break at edges.
+                match rng.below(8) {
+                    0 => <$ty>::MIN,
+                    1 => <$ty>::MAX,
+                    2 => 0 as $ty,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        char::from(b' ' + (rng.below(95) as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_hit_boundaries() {
+        let mut rng = TestRng::for_case("arb", 0);
+        let mut saw_max = false;
+        for _ in 0..200 {
+            if u32::arbitrary(&mut rng) == u32::MAX {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max, "boundary bias should surface MAX quickly");
+    }
+
+    #[test]
+    fn any_is_a_strategy() {
+        let mut rng = TestRng::for_case("arb", 1);
+        let _: u8 = any::<u8>().generate(&mut rng);
+        let _: bool = any::<bool>().generate(&mut rng);
+        let _: f64 = any::<f64>().generate(&mut rng);
+    }
+}

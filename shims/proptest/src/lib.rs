@@ -1,0 +1,142 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset of `proptest` the `clam-rs` property tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_filter`,
+//! [`any`](arbitrary::any), ranges and `".{a,b}"` string patterns as
+//! strategies, [`collection::vec`], [`option::of`], weighted
+//! [`prop_oneof!`], and the [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case reports its seed and values but is
+//!   not minimized.
+//! * **Deterministic seeding** per (test name, case index), so failures
+//!   reproduce across runs without a persistence file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the property tests import.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Expands a block of property tests. Each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    #[allow(unused_variables)]
+                    let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                )*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    if e.is_rejection() {
+                        continue; // prop_assume! rejected this case
+                    }
+                    panic!(
+                        "proptest {} failed at case {case}: {e}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Skips the current property-test case unless `cond` holds. The case is
+/// not counted as a failure; the loop just moves on to the next seed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{}: {:?} != {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Fails the current property-test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::weighted($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}

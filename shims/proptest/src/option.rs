@@ -1,0 +1,42 @@
+//! Option strategies: `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` half the time, `Some(inner)` otherwise.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        (rng.below(2) == 1).then(|| self.inner.generate(rng))
+    }
+}
+
+/// A strategy for `Option<T>` over `inner`'s values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn both_arms_appear() {
+        let s = of(Just(1u8));
+        let mut rng = TestRng::for_case("opt", 0);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

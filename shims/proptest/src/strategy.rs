@@ -1,0 +1,300 @@
+//! The [`Strategy`] trait and its combinators (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; gives up (panics, failing the
+    /// test) if 1000 consecutive candidates are rejected.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erase into a reference-counted strategy (the shim's stand-in
+    /// for `BoxedStrategy`).
+    fn boxed(self) -> Arc<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Arc::new(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Arc<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone, Copy)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.source.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+    }
+}
+
+/// One weighted branch of a [`OneOf`]; build with [`weighted`].
+pub struct Weighted<T> {
+    weight: u32,
+    strategy: Arc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for Weighted<T> {
+    fn clone(&self) -> Self {
+        Weighted {
+            weight: self.weight,
+            strategy: Arc::clone(&self.strategy),
+        }
+    }
+}
+
+/// Pair a strategy with a selection weight (used by `prop_oneof!`).
+pub fn weighted<S>(weight: u32, strategy: S) -> Weighted<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Weighted {
+        weight,
+        strategy: Arc::new(strategy),
+    }
+}
+
+/// Chooses among branches with probability proportional to their weights.
+pub struct OneOf<T> {
+    branches: Vec<Weighted<T>>,
+    total: u64,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            branches: self.branches.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Build from weighted branches; at least one required.
+    #[must_use]
+    pub fn new(branches: Vec<Weighted<T>>) -> OneOf<T> {
+        let total = branches.iter().map(|b| u64::from(b.weight)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted branch");
+        OneOf { branches, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for branch in &self.branches {
+            let w = u64::from(branch.weight);
+            if pick < w {
+                return branch.strategy.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let wide = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()))
+                    % span;
+                (self.start as i128).wrapping_add(wide as i128) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = ((end as i128).wrapping_sub(start as i128) as u128)
+                    .wrapping_add(1);
+                let wide = ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()))
+                    % span;
+                (start as i128).wrapping_add(wide as i128) as $ty
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// String patterns of the form `".{lo,hi}"` (the only regex shape the
+/// workspace's tests use) generate printable-ASCII strings with length in
+/// `[lo, hi]`. Any other pattern is rejected loudly rather than silently
+/// generating the wrong distribution.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}; shim supports \".{{lo,hi}}\""));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| char::from(b' ' + (rng.below(95) as u8)))
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let inner = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = inner.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        assert_eq!(Just(7).generate(&mut rng()), 7);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10u32..20).generate(&mut r);
+            assert!((10..20).contains(&v));
+            let w = (-3i64..3).generate(&mut r);
+            assert!((-3..3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_width_u64_range_is_accepted() {
+        let mut r = rng();
+        let _ = (1u64..u64::MAX).generate(&mut r);
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let s = (0u8..10).prop_map(|v| v * 2).prop_filter("even", |v| *v < 10);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_len() {
+        let s = ".{2,5}";
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!((2..=5).contains(&v.chars().count()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let s = OneOf::new(vec![weighted(1, Just(0u8)), weighted(0, Just(1u8))]);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r), 0, "zero-weight branch never picked");
+        }
+    }
+}

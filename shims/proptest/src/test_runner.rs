@@ -1,0 +1,121 @@
+//! Config, per-case RNG, and the error type `prop_assert!` produces.
+
+use std::fmt;
+
+/// How many cases each property runs. Only the field the workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: enough to exercise the encoders' edge paths while keeping
+    /// the whole suite fast without shrinking support.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert!` or a `prop_assume!` rejection — carried out of
+/// the case body as an `Err` so the harness can report the case index (or
+/// silently skip a rejected case).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// Wrap a failure message.
+    #[must_use]
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError {
+            message,
+            rejected: false,
+        }
+    }
+
+    /// A `prop_assume!` rejection: the case is skipped, not failed.
+    #[must_use]
+    pub fn reject(message: String) -> TestCaseError {
+        TestCaseError {
+            message,
+            rejected: true,
+        }
+    }
+
+    /// Whether this error is a rejection rather than a failure.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        self.rejected
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic SplitMix64 stream, seeded from (test name, case index) so
+/// every run of a test regenerates the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for one case of one named test.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        seed ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let mut a = TestRng::for_case("x", 0);
+        let mut b = TestRng::for_case("x", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -46,7 +46,7 @@ impl Recorder for RecorderImpl {
 
     fn record(&self, value: u32) -> RpcResult<()> {
         self.log.lock().push(value);
-        if value % 5 == 0 {
+        if value.is_multiple_of(5) {
             // A *synchronous* upcall from inside a batched call: the
             // stress case for ordering.
             let _ = self.listeners.post(&value)?;

@@ -19,13 +19,13 @@ fn garbage_on_the_rpc_channel_drops_only_that_client() {
     let nonce = 0xbad_cafe_u64;
     rogue
         .send(
-            &clam_xdr::encode(&(0u32, nonce)) // Hello{Rpc, nonce} wire-compatible
+            clam_xdr::encode(&(0u32, nonce)) // Hello{Rpc, nonce} wire-compatible
                 .unwrap(),
         )
         .unwrap();
     let mut rogue_up = clam_net::connect(&endpoint).unwrap();
     rogue_up
-        .send(&clam_xdr::encode(&(1u32, nonce)).unwrap())
+        .send(clam_xdr::encode(&(1u32, nonce)).unwrap())
         .unwrap();
     std::thread::sleep(Duration::from_millis(20)); // session forms
     rogue.send(&[0xff; 32]).unwrap(); // not a Message
@@ -46,7 +46,7 @@ fn half_a_handshake_never_becomes_a_session() {
     // Connect only the RPC channel; never the upcall channel.
     let mut lonely = clam_net::connect(&endpoint).unwrap();
     lonely
-        .send(&clam_xdr::encode(&(0u32, 42u64)).unwrap())
+        .send(clam_xdr::encode(&(0u32, 42u64)).unwrap())
         .unwrap();
     std::thread::sleep(Duration::from_millis(30));
     assert!(server.sessions().is_empty(), "no session from half a pair");
@@ -62,10 +62,10 @@ fn duplicate_role_in_handshake_is_rejected() {
     let nonce = 7u64;
     // Two RPC-role connections with the same nonce: protocol error.
     let mut a = clam_net::connect(&endpoint).unwrap();
-    a.send(&clam_xdr::encode(&(0u32, nonce)).unwrap()).unwrap();
+    a.send(clam_xdr::encode(&(0u32, nonce)).unwrap()).unwrap();
     std::thread::sleep(Duration::from_millis(10));
     let mut b = clam_net::connect(&endpoint).unwrap();
-    b.send(&clam_xdr::encode(&(0u32, nonce)).unwrap()).unwrap();
+    b.send(clam_xdr::encode(&(0u32, nonce)).unwrap()).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     assert!(server.sessions().is_empty());
     // The server remains healthy.

@@ -37,11 +37,8 @@ fn new_connections_after_shutdown_are_refused() {
     server.shutdown();
     // The connect itself may succeed at the transport level (the
     // listener still exists) but the session never forms: the first RPC
-    // fails or the channel closes.
-    match ClamClient::connect(&endpoint) {
-        Ok(client) => {
-            assert!(client.session().ping().is_err());
-        }
-        Err(_) => {} // also acceptable: refused outright
+    // fails or the channel closes. Refusal outright is also acceptable.
+    if let Ok(client) = ClamClient::connect(&endpoint) {
+        assert!(client.session().ping().is_err());
     }
 }
