@@ -18,28 +18,20 @@ fn bench_remote_rows(c: &mut Criterion) {
         let _ = rig.measure_remote_upcall(8);
 
         // Rows 4/6/8: remote procedure call (paper: 7200/11500/12400 µs).
-        group.bench_with_input(
-            BenchmarkId::new("remote_call", name),
-            &rig,
-            |b, rig| {
-                b.iter_custom(|iters| {
-                    rig.measure_remote_call(u32::try_from(iters).unwrap_or(u32::MAX))
-                        * u32::try_from(iters).unwrap_or(u32::MAX)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("remote_call", name), &rig, |b, rig| {
+            b.iter_custom(|iters| {
+                rig.measure_remote_call(u32::try_from(iters).unwrap_or(u32::MAX))
+                    * u32::try_from(iters).unwrap_or(u32::MAX)
+            });
+        });
 
         // Rows 5/7/9: remote upcall (paper: 7200/11500/12800 µs).
-        group.bench_with_input(
-            BenchmarkId::new("remote_upcall", name),
-            &rig,
-            |b, rig| {
-                b.iter_custom(|iters| {
-                    rig.measure_remote_upcall(u32::try_from(iters).unwrap_or(u32::MAX))
-                        * u32::try_from(iters).unwrap_or(u32::MAX)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("remote_upcall", name), &rig, |b, rig| {
+            b.iter_custom(|iters| {
+                rig.measure_remote_upcall(u32::try_from(iters).unwrap_or(u32::MAX))
+                    * u32::try_from(iters).unwrap_or(u32::MAX)
+            });
+        });
     }
 
     group.finish();

@@ -37,8 +37,8 @@ impl FanOut for FanOutImpl {
             .server
             .upgrade()
             .ok_or_else(|| RpcError::status(StatusCode::AppError, "gone"))?;
-        let conn = current_conn()
-            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
+        let conn =
+            current_conn().ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
         let start = Instant::now();
         let mut handles = Vec::new();
         for _ in 0..tasks {

@@ -1,0 +1,151 @@
+//! Bench-regression smoke guard.
+//!
+//! Re-runs the `batching/batched/512` workload (the gate metric of the
+//! zero-copy wire-path PR, recorded in `BENCH_batching.json`) a handful
+//! of times and fails if the measured median exceeds the checked-in
+//! baseline by more than a guard factor. This is not a benchmark — it is
+//! a tripwire for order-of-magnitude regressions (an accidental
+//! per-frame allocation, a lost batch path) cheap enough for every CI
+//! run. Build with `--release`; a debug build trips the guard on
+//! compiler overhead alone.
+//!
+//! Usage: `bench_guard [path/to/BENCH_batching.json]`
+//! Env: `GUARD_FACTOR` — allowed slowdown over baseline (default 2.0).
+
+use clam_bench::{BenchRig, Echo, ECHO_SERVICE_ID};
+use clam_net::Endpoint;
+use clam_rpc::Target;
+use clam_xdr::Opaque;
+use std::time::Instant;
+
+const BATCH: u32 = 512;
+const ITERS: usize = 15;
+const DEFAULT_FACTOR: f64 = 2.0;
+
+/// Pull `after.median_ns` for the `batched/512` row out of the baseline
+/// JSON. Whitespace-insensitive scan over the known report shape — the
+/// container has no JSON crate, and the file is machine-written.
+fn baseline_median_ns(json: &str) -> Option<f64> {
+    let compact: String = json.chars().filter(|c| !c.is_whitespace()).collect();
+    let mut rest = compact.as_str();
+    while let Some(pos) = rest.find("\"bench\":\"batched\"") {
+        rest = &rest[pos + 1..];
+        // The row's fields up to the next row boundary.
+        let row = &rest[..rest.find("},{").unwrap_or(rest.len())];
+        if !row.contains("\"param\":512") {
+            continue;
+        }
+        let after = &row[row.find("\"after\":")?..];
+        let med = &after[after.find("\"median_ns\":")? + "\"median_ns\":".len()..];
+        let end = med
+            .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+            .unwrap_or(med.len());
+        return med[..end].parse().ok();
+    }
+    None
+}
+
+/// One batched/512 round: N async calls, one flush, one sync barrier —
+/// the exact loop of `benches/batching.rs`.
+fn run_batch(rig: &BenchRig) {
+    let caller = rig.client.caller();
+    let target = Target::Builtin(ECHO_SERVICE_ID);
+    for i in 0..BATCH {
+        caller
+            .call_async(target, 1, Opaque::from(clam_xdr::encode(&(i,)).unwrap()))
+            .expect("async call");
+    }
+    caller.flush().expect("flush");
+    rig.echo.echo(0).expect("barrier");
+}
+
+fn measured_median_ns() -> f64 {
+    let rig = BenchRig::new(Endpoint::unix(
+        std::env::temp_dir().join(format!("clam-bench-guard-{}.sock", std::process::id())),
+    ));
+    run_batch(&rig); // warm up: first batch pays connection setup
+    let mut samples: Vec<u128> = (0..ITERS)
+        .map(|_| {
+            let start = Instant::now();
+            run_batch(&rig);
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    // Even ITERS would want the midpoint mean; ITERS is odd.
+    samples[samples.len() / 2] as f64
+}
+
+fn main() {
+    let baseline_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_batching.json".to_string());
+    let json = match std::fs::read_to_string(&baseline_path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline) = baseline_median_ns(&json) else {
+        eprintln!("bench_guard: no batched/512 after.median_ns in {baseline_path}");
+        std::process::exit(2);
+    };
+    let factor: f64 = std::env::var("GUARD_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_FACTOR);
+
+    let measured = measured_median_ns();
+    let limit = baseline * factor;
+    println!(
+        "bench_guard: batching/batched/512 median {measured:.1} ns \
+         (baseline {baseline:.1} ns, limit {factor}x = {limit:.1} ns)"
+    );
+    if measured > limit {
+        eprintln!(
+            "bench_guard: REGRESSION — median {:.1}x over baseline exceeds the {factor}x guard",
+            measured / baseline
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: ok ({:.2}x baseline)", measured / baseline);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "rows": [
+        { "group": "batching", "bench": "batched", "param": 8,
+          "before": { "mean_ns": 1.0, "median_ns": 2.0 },
+          "after": { "mean_ns": 3.0, "median_ns": 4.0 } },
+        { "group": "batching", "bench": "flush_each", "param": 512,
+          "before": { "mean_ns": 1.0, "median_ns": 2.0 },
+          "after": { "mean_ns": 3.0, "median_ns": 9.9 } },
+        { "group": "batching", "bench": "batched", "param": 512,
+          "before": { "mean_ns": 271407.7, "median_ns": 274338.2 },
+          "after": { "mean_ns": 160218.6, "median_ns": 156023.8 } }
+      ]
+    }"#;
+
+    #[test]
+    fn extracts_the_batched_512_after_median() {
+        assert_eq!(baseline_median_ns(SAMPLE), Some(156_023.8));
+    }
+
+    #[test]
+    fn missing_row_is_none() {
+        assert_eq!(baseline_median_ns("{\"rows\": []}"), None);
+        assert_eq!(baseline_median_ns(""), None);
+    }
+
+    #[test]
+    fn the_checked_in_baseline_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batching.json");
+        let json = std::fs::read_to_string(path).expect("baseline present");
+        let median = baseline_median_ns(&json).expect("batched/512 row present");
+        assert!(median > 0.0);
+    }
+}

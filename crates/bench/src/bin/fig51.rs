@@ -50,7 +50,11 @@ fn main() {
 
     // Rows 4–9: remote call + remote upcall per transport tier.
     for (name, endpoint) in row_endpoints() {
-        let iters = if name == "wan" { WAN_ITERS } else { REMOTE_ITERS };
+        let iters = if name == "wan" {
+            WAN_ITERS
+        } else {
+            REMOTE_ITERS
+        };
         let rig = BenchRig::new(endpoint);
         // Warm both paths (connection setup, first-task creation).
         let _ = rig.measure_remote_call(16);
@@ -95,7 +99,9 @@ fn main() {
     );
     check(
         "local calls are >=100x cheaper than any cross-address-space call",
-        m[..3].iter().all(|&l| m[3..].iter().all(|&r| r >= 100.0 * l)),
+        m[..3]
+            .iter()
+            .all(|&l| m[3..].iter().all(|&r| r >= 100.0 * l)),
     );
     // The paper reports upcall == call at every tier, but its unit is
     // 7 200 µs — task-switch overhead (tens of µs here) was invisible.

@@ -93,7 +93,10 @@ fn main() {
     const STEPS: u32 = 64; // mouse-move samples per gesture
     println!();
     println!("Ablation B: sweep layer placement — section 2.1's motivating comparison");
-    println!("gesture: press + {STEPS} moves + release ({} events)", STEPS + 3);
+    println!(
+        "gesture: press + {STEPS} moves + release ({} events)",
+        STEPS + 3
+    );
     println!("{:-<84}", "");
     println!(
         "{:<10} {:>18} {:>18} {:>14} {:>14}",
@@ -103,7 +106,10 @@ fn main() {
 
     let unix = std::env::temp_dir().join(format!("clam-sweep-{}.sock", std::process::id()));
     let endpoints = [
-        ("inproc", Endpoint::in_proc(format!("sweep-abl-{}", std::process::id()))),
+        (
+            "inproc",
+            Endpoint::in_proc(format!("sweep-abl-{}", std::process::id())),
+        ),
         ("unix", Endpoint::unix(unix)),
         ("tcp", Endpoint::tcp("127.0.0.1:0")),
         ("wan", Endpoint::wan("127.0.0.1:0")),
@@ -114,8 +120,8 @@ fn main() {
         let (_s1, c1, d1) = rig(endpoint.clone());
         let (_s2, c2, d2) = match &endpoint {
             Endpoint::Unix(_) => {
-                let alt = std::env::temp_dir()
-                    .join(format!("clam-sweep2-{}.sock", std::process::id()));
+                let alt =
+                    std::env::temp_dir().join(format!("clam-sweep2-{}.sock", std::process::id()));
                 rig(Endpoint::unix(alt))
             }
             Endpoint::InProc(n) => rig(Endpoint::in_proc(format!("{n}-b"))),

@@ -69,17 +69,15 @@ pub fn loaded_proc_pair() -> LoadedProc {
     let server = clam_rpc::RpcServer::new();
     let inner: LoadedProc = Arc::new(|x| black_box(x).wrapping_mul(2).wrapping_add(1));
     let inner_for_module = Arc::clone(&inner);
-    let module = SimpleModule::new("bench-procs", Version::new(1, 0)).with_class(
-        ClassSpec::new(
-            "Procs",
-            Arc::new(NullDispatch),
-            Arc::new(move |_s, _a| {
-                let inner = Arc::clone(&inner_for_module);
-                let outer: LoadedProc = Arc::new(move |x| inner(x));
-                Ok(Arc::new(outer))
-            }),
-        ),
-    );
+    let module = SimpleModule::new("bench-procs", Version::new(1, 0)).with_class(ClassSpec::new(
+        "Procs",
+        Arc::new(NullDispatch),
+        Arc::new(move |_s, _a| {
+            let inner = Arc::clone(&inner_for_module);
+            let outer: LoadedProc = Arc::new(move |x| inner(x));
+            Ok(Arc::new(outer))
+        }),
+    ));
     loader.install(Arc::new(module)).expect("install");
     let classes = loader
         .load(&server, "bench-procs", Version::new(1, 0))
@@ -192,7 +190,10 @@ impl BenchRig {
             Arc::new(EchoSkeleton::new(Arc::new(EchoImpl { server: weak }))),
         );
         let client = ClamClient::connect(&server.endpoints()[0]).expect("client connects");
-        let echo = EchoProxy::new(Arc::clone(client.caller()), Target::Builtin(ECHO_SERVICE_ID));
+        let echo = EchoProxy::new(
+            Arc::clone(client.caller()),
+            Target::Builtin(ECHO_SERVICE_ID),
+        );
         let bounce_proc = client.register_upcall(|x: u32| Ok(x.wrapping_add(1)));
         BenchRig {
             server,

@@ -238,8 +238,7 @@ impl ClamClient {
                 let reply = Self::run_upcall(&procs, &up);
                 handled.fetch_add(1, Ordering::Relaxed);
                 if up.request_id != 0 {
-                    let Ok(frame) = Message::UpcallReply(reply).to_frame_in(&upcall_pool)
-                    else {
+                    let Ok(frame) = Message::UpcallReply(reply).to_frame_in(&upcall_pool) else {
                         return;
                     };
                     if writer.lock().send(frame).is_err() {
@@ -342,7 +341,10 @@ impl ClamClient {
     /// Proxy to the server's session-control service.
     #[must_use]
     pub fn session(&self) -> SessionCtlProxy {
-        SessionCtlProxy::new(Arc::clone(&self.caller), Target::Builtin(SESSION_SERVICE_ID))
+        SessionCtlProxy::new(
+            Arc::clone(&self.caller),
+            Target::Builtin(SESSION_SERVICE_ID),
+        )
     }
 
     /// Proxy to the server's name service (share handles with other

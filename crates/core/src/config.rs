@@ -1,6 +1,7 @@
 //! Server configuration.
 
 use clam_rpc::CallerConfig;
+use std::time::Duration;
 
 /// Tuning for a [`ClamServer`](crate::ClamServer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +16,12 @@ pub struct ServerConfig {
     /// Batching configuration for server-originated callers (unused by
     /// the upcall path itself; reserved for server-to-server calls).
     pub caller: CallerConfig,
+    /// Deadline for synchronous upcalls into clients: a client that
+    /// accepts an upcall but never replies fails the server task's wait
+    /// with `DeadlineExceeded` after this long. `None` (the default, and
+    /// the paper's behavior) waits forever — channel teardown is then the
+    /// only way a blocked upcaller is released.
+    pub upcall_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -22,6 +29,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_concurrent_upcalls: 1,
             caller: CallerConfig::default(),
+            upcall_timeout: None,
         }
     }
 }
@@ -40,6 +48,13 @@ impl ServerConfig {
         self.max_concurrent_upcalls = n;
         self
     }
+
+    /// Bound synchronous upcalls into clients by `timeout`.
+    #[must_use]
+    pub fn with_upcall_timeout(mut self, timeout: Duration) -> ServerConfig {
+        self.upcall_timeout = Some(timeout);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -49,16 +64,20 @@ mod tests {
     #[test]
     fn default_is_the_paper_limit() {
         assert_eq!(ServerConfig::default().max_concurrent_upcalls, 1);
-        assert_eq!(
-            ServerConfig::paper_faithful().max_concurrent_upcalls,
-            1
-        );
+        assert_eq!(ServerConfig::paper_faithful().max_concurrent_upcalls, 1);
     }
 
     #[test]
     fn relaxation_is_expressible() {
         let c = ServerConfig::default().with_max_concurrent_upcalls(8);
         assert_eq!(c.max_concurrent_upcalls, 8);
+    }
+
+    #[test]
+    fn upcall_timeout_defaults_off_and_is_settable() {
+        assert_eq!(ServerConfig::default().upcall_timeout, None);
+        let c = ServerConfig::default().with_upcall_timeout(Duration::from_secs(5));
+        assert_eq!(c.upcall_timeout, Some(Duration::from_secs(5)));
     }
 
     #[test]

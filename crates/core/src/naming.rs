@@ -84,13 +84,9 @@ impl NameService for NameServiceImpl {
     }
 
     fn lookup(&self, name: String) -> RpcResult<Handle> {
-        self.bindings
-            .lock()
-            .get(&name)
-            .copied()
-            .ok_or_else(|| {
-                RpcError::status(StatusCode::NoSuchObject, format!("no binding {name:?}"))
-            })
+        self.bindings.lock().get(&name).copied().ok_or_else(|| {
+            RpcError::status(StatusCode::NoSuchObject, format!("no binding {name:?}"))
+        })
     }
 
     fn unbind(&self, name: String) -> RpcResult<bool> {

@@ -12,13 +12,16 @@
 //! router; invoking it performs the distributed upcall.
 
 use clam_net::{MsgReader, MsgWriter};
-use clam_rpc::{Message, ProcId, Reply, RpcError, RpcResult, StatusCode, UpcallMsg};
+use clam_rpc::{
+    DeadlineWatchdog, Message, ProcId, Reply, RpcError, RpcResult, StatusCode, UpcallMsg,
+};
 use clam_task::{Event, Scheduler};
 use clam_xdr::{BufferPool, Opaque};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct UpcallWait {
     event: Event,
@@ -48,6 +51,11 @@ pub struct UpcallRouter {
     sync_in_flight: AtomicU64,
     /// Upcall frames cycle: acquire → encode → send → writer recycles.
     pool: BufferPool,
+    /// Deadline for synchronous upcalls; `None` is the paper's unbounded
+    /// wait (a client that never replies blocks its server task forever).
+    timeout: Option<Duration>,
+    /// Enforces upcall deadlines from outside the event machinery.
+    watchdog: DeadlineWatchdog,
 }
 
 impl std::fmt::Debug for UpcallRouter {
@@ -61,8 +69,18 @@ impl std::fmt::Debug for UpcallRouter {
 
 impl UpcallRouter {
     /// Create a router over the upcall channel's writer half.
+    ///
+    /// A synchronous upcall whose reply has not arrived within `timeout`
+    /// fails with [`RpcError::DeadlineExceeded`] — a hung or dead client
+    /// can no longer pin a server task forever. `None` keeps the paper's
+    /// unbounded wait.
     #[must_use]
-    pub fn new(sched: &Scheduler, mut writer: Box<dyn MsgWriter>, max_active: usize) -> Arc<Self> {
+    pub fn new(
+        sched: &Scheduler,
+        mut writer: Box<dyn MsgWriter>,
+        max_active: usize,
+        timeout: Option<Duration>,
+    ) -> Arc<Self> {
         let permits = Event::new(sched);
         for _ in 0..max_active {
             permits.signal();
@@ -79,6 +97,8 @@ impl UpcallRouter {
             max_active,
             sync_in_flight: AtomicU64::new(0),
             pool,
+            timeout,
+            watchdog: DeadlineWatchdog::new(),
         })
     }
 
@@ -145,8 +165,27 @@ impl UpcallRouter {
             return Err(e);
         }
 
+        if let Some(limit) = self.timeout {
+            // Deadline expiry completes the upcall from outside (same
+            // scheme as the caller's call deadlines): occupy the reply
+            // slot and wake the blocked server task. A no-op if the
+            // client's reply won the race.
+            let armed = Arc::clone(&wait);
+            self.watchdog.arm_after(limit, move || {
+                let mut slot = armed.slot.lock();
+                if slot.is_none() {
+                    *slot = Some(Err(RpcError::DeadlineExceeded));
+                    drop(slot);
+                    armed.event.signal();
+                }
+            });
+        }
+
         wait.event.wait();
         let outcome = wait.slot.lock().take();
+        // On expiry the entry is still in the map; reap it so a late
+        // reply finds nothing. On a normal reply this is a no-op.
+        self.pending.lock().remove(&request_id);
         outcome.unwrap_or(Err(RpcError::Disconnected))
     }
 
@@ -330,7 +369,7 @@ mod tests {
         let (server_end, client_end) = pair();
         let sched = Scheduler::new("ruc-test");
         let (w, r) = server_end.split();
-        let router = UpcallRouter::new(&sched, w, max_active);
+        let router = UpcallRouter::new(&sched, w, max_active, None);
         router.spawn_reply_pump(r);
         let client = fake_client(client_end);
         (router, client, sched)
@@ -358,7 +397,7 @@ mod tests {
         let (server_end, mut client_end) = pair();
         let sched = Scheduler::new("ruc-err");
         let (w, r) = server_end.split();
-        let router = UpcallRouter::new(&sched, w, 1);
+        let router = UpcallRouter::new(&sched, w, 1, None);
         router.spawn_reply_pump(r);
         let t = std::thread::spawn(move || {
             let frame = client_end.recv().unwrap();
@@ -385,7 +424,7 @@ mod tests {
         let (server_end, client_end) = pair();
         let sched = Scheduler::new("ruc-disc");
         let (w, r) = server_end.split();
-        let router = UpcallRouter::new(&sched, w, 1);
+        let router = UpcallRouter::new(&sched, w, 1, None);
         router.spawn_reply_pump(r);
         let t = std::thread::spawn(move || {
             let mut client_end = client_end;
@@ -403,13 +442,50 @@ mod tests {
     }
 
     #[test]
+    fn silent_client_deadlines_the_upcall() {
+        use std::time::{Duration, Instant};
+        let (server_end, client_end) = pair();
+        let sched = Scheduler::new("ruc-deadline");
+        let (w, r) = server_end.split();
+        let timeout = Duration::from_millis(120);
+        let router = UpcallRouter::new(&sched, w, 1, Some(timeout));
+        router.spawn_reply_pump(r);
+        // A client that accepts the upcall but never answers.
+        let t = std::thread::spawn(move || {
+            let mut chan = client_end;
+            while chan.recv().is_ok() {}
+        });
+        let ruc = RemoteUpcall::new(Arc::clone(&router), ProcId { id: 1 });
+        let start = Instant::now();
+        let err = ruc.invoke(Opaque::new()).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, RpcError::DeadlineExceeded), "got {err:?}");
+        assert!(
+            elapsed < timeout * 2,
+            "upcall deadline must fire within 2x the timeout, took {elapsed:?}"
+        );
+        assert_eq!(router.outstanding(), 0, "expired upcall must be reaped");
+        // The active-upcall slot was released: the next upcall proceeds
+        // (and deadlines again, rather than blocking on the permit).
+        assert!(matches!(
+            ruc.invoke(Opaque::new()).unwrap_err(),
+            RpcError::DeadlineExceeded
+        ));
+        // Drop every router handle so the writer closes and the silent
+        // client's recv loop ends.
+        drop(ruc);
+        drop(router);
+        t.join().unwrap();
+    }
+
+    #[test]
     fn upcall_limit_serializes_concurrent_upcalls() {
         // Two server tasks race to upcall; with max_active = 1 the second
         // must wait until the first completes.
         let (server_end, client_end) = pair();
         let sched = Scheduler::new("ruc-limit");
         let (w, r) = server_end.split();
-        let router = UpcallRouter::new(&sched, w, 1);
+        let router = UpcallRouter::new(&sched, w, 1, None);
         router.spawn_reply_pump(r);
 
         // A slow fake client: observes both requests before replying, if
@@ -460,7 +536,7 @@ mod tests {
         let (server_end, client_end) = pair();
         let sched = Scheduler::new("ruc-relaxed");
         let (w, r) = server_end.split();
-        let router = UpcallRouter::new(&sched, w, 2);
+        let router = UpcallRouter::new(&sched, w, 2, None);
         router.spawn_reply_pump(r);
 
         // Fake client that collects BOTH requests before replying to

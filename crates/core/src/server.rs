@@ -163,15 +163,17 @@ impl ClamServer {
         // Error-reporting upcalls (section 4.3): when loaded code faults,
         // a new task reports to the faulting client's error handler.
         let weak = Arc::downgrade(&server);
-        server.rpc.set_fault_observer(Arc::new(move |conn, ctx, msg| {
-            let Some(server) = weak.upgrade() else { return };
-            let report = ErrorReport {
-                message: msg.to_string(),
-                method: ctx.method,
-                request_id: ctx.request_id,
-            };
-            server.report_error(conn, report);
-        }));
+        server
+            .rpc
+            .set_fault_observer(Arc::new(move |conn, ctx, msg| {
+                let Some(server) = weak.upgrade() else { return };
+                let report = ErrorReport {
+                    message: msg.to_string(),
+                    method: ctx.method,
+                    request_id: ctx.request_id,
+                };
+                server.report_error(conn, report);
+            }));
 
         for listener in listeners {
             let weak = Arc::downgrade(&server);
@@ -303,6 +305,7 @@ impl ClamServer {
         self.shutting_down.store(true, Ordering::Release);
         for session in self.sessions.drain_all() {
             session.mark_dead();
+            self.rpc.invalidate_owner(session.conn());
         }
         self.pending_pairs.lock().clear();
         self.sched.shutdown();
@@ -351,7 +354,12 @@ impl ClamServer {
         let (rpc_writer, mut rpc_reader) = rpc_ch.split();
         let (up_writer, up_reader) = upcall_ch.split();
 
-        let router = UpcallRouter::new(&self.sched, up_writer, self.config.max_concurrent_upcalls);
+        let router = UpcallRouter::new(
+            &self.sched,
+            up_writer,
+            self.config.max_concurrent_upcalls,
+            self.config.upcall_timeout,
+        );
         router.spawn_reply_pump(up_reader);
 
         let session = Session::new(&self.sched, conn, router, rpc_writer);
@@ -364,12 +372,14 @@ impl ClamServer {
         {
             let session = Arc::clone(&session);
             let server = Arc::clone(self);
-            let _ = self.sched.try_spawn(&format!("rpc-main-{}", conn.0), move || {
-                while let Some(frame) = session.next_frame() {
-                    Self::process_session_frame(&server, &session, conn, &frame);
-                    session.buffer_pool().recycle(frame.into_wire());
-                }
-            });
+            let _ = self
+                .sched
+                .try_spawn(&format!("rpc-main-{}", conn.0), move || {
+                    while let Some(frame) = session.next_frame() {
+                        Self::process_session_frame(&server, &session, conn, &frame);
+                        session.buffer_pool().recycle(frame.into_wire());
+                    }
+                });
         }
 
         // Read pump (plays the kernel): frames go to the main task's
@@ -395,13 +405,10 @@ impl ClamServer {
                         if Message::frame_is_nested(&frame) {
                             let session = Arc::clone(&session);
                             let server = Arc::clone(&server);
-                            let spawned =
-                                server.sched.clone().try_spawn("rpc-nested", move || {
-                                    Self::process_session_frame(
-                                        &server, &session, conn, &frame,
-                                    );
-                                    session.buffer_pool().recycle(frame.into_wire());
-                                });
+                            let spawned = server.sched.clone().try_spawn("rpc-nested", move || {
+                                Self::process_session_frame(&server, &session, conn, &frame);
+                                session.buffer_pool().recycle(frame.into_wire());
+                            });
                             if spawned.is_err() {
                                 break; // scheduler shut down
                             }
@@ -409,8 +416,14 @@ impl ClamServer {
                             session.push_inbox(frame);
                         }
                     }
+                    // Peer death: wake blocked upcall waiters with an
+                    // error (mark_dead → router.fail_all), drop the
+                    // session, and bump the tags of every object this
+                    // client created so its capabilities — wherever they
+                    // leaked — fail with StaleHandle from now on.
                     session.mark_dead();
                     sessions.remove(conn);
+                    server.rpc.invalidate_owner(conn);
                 })
                 .expect("failed to spawn rpc read pump");
         }

@@ -256,7 +256,7 @@ mod tests {
         let (w, _r) = a.split();
         let (ua, _ub) = pair();
         let (uw, _ur) = ua.split();
-        let router = UpcallRouter::new(&sched, uw, 1);
+        let router = UpcallRouter::new(&sched, uw, 1, None);
         let s = Session::new(&sched, ConnId(7), router, w);
         (s, sched)
     }

@@ -244,10 +244,8 @@ fn error_reporting_upcall_fires_on_fault() {
     let handle = loader
         .create_object(rep.classes[0].class_id, clam_xdr::Opaque::new())
         .unwrap();
-    let faulty = clam_load::testing::FaultyProxy::new(
-        Arc::clone(client.caller()),
-        Target::Object(handle),
-    );
+    let faulty =
+        clam_load::testing::FaultyProxy::new(Arc::clone(client.caller()), Target::Object(handle));
     let err = faulty.explode().unwrap_err();
     assert_eq!(err.status_code(), Some(clam_rpc::StatusCode::Fault));
 

@@ -126,10 +126,7 @@ impl DynamicLoader {
             let st = self.state.read();
             if let Some(ids) = st.by_module.get(&(name.to_string(), version)) {
                 // Already loaded: idempotent.
-                return Ok(ids
-                    .iter()
-                    .map(|id| st.loaded[id].clone())
-                    .collect());
+                return Ok(ids.iter().map(|id| st.loaded[id].clone()).collect());
             }
             st.available
                 .get(name)

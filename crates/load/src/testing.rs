@@ -180,16 +180,18 @@ mod tests {
             .unwrap();
         assert_ne!(r1.classes[0].class_id, r2.classes[0].class_id);
 
-        let h1 = imp.create_object(r1.classes[0].class_id, Opaque::new()).unwrap();
-        let h2 = imp.create_object(r2.classes[0].class_id, Opaque::new()).unwrap();
-        let v1: i64 = clam_xdr::decode(
-            dispatch_ok(&server, Target::Object(h1), 1, Opaque::new()).as_slice(),
-        )
-        .unwrap();
-        let v2: i64 = clam_xdr::decode(
-            dispatch_ok(&server, Target::Object(h2), 1, Opaque::new()).as_slice(),
-        )
-        .unwrap();
+        let h1 = imp
+            .create_object(r1.classes[0].class_id, Opaque::new())
+            .unwrap();
+        let h2 = imp
+            .create_object(r2.classes[0].class_id, Opaque::new())
+            .unwrap();
+        let v1: i64 =
+            clam_xdr::decode(dispatch_ok(&server, Target::Object(h1), 1, Opaque::new()).as_slice())
+                .unwrap();
+        let v2: i64 =
+            clam_xdr::decode(dispatch_ok(&server, Target::Object(h2), 1, Opaque::new()).as_slice())
+                .unwrap();
         assert_eq!((v1, v2), (1, 10), "each client sees its own version");
     }
 
@@ -236,10 +238,9 @@ mod tests {
         let h = imp
             .create_object(report.classes[0].class_id, Opaque::from(start))
             .unwrap();
-        let v: i64 = clam_xdr::decode(
-            dispatch_ok(&server, Target::Object(h), 2, Opaque::new()).as_slice(),
-        )
-        .unwrap();
+        let v: i64 =
+            clam_xdr::decode(dispatch_ok(&server, Target::Object(h), 2, Opaque::new()).as_slice())
+                .unwrap();
         assert_eq!(v, 100);
     }
 
@@ -271,7 +272,9 @@ mod tests {
     #[test]
     fn fault_in_loaded_class_is_contained() {
         let (server, imp) = rig();
-        let report = imp.load_module("faulty".into(), Version::new(1, 0)).unwrap();
+        let report = imp
+            .load_module("faulty".into(), Version::new(1, 0))
+            .unwrap();
         let h = imp
             .create_object(report.classes[0].class_id, Opaque::new())
             .unwrap();
@@ -309,7 +312,8 @@ mod tests {
         assert!(imp.list_classes().unwrap().is_empty());
         imp.load_module("counter".into(), Version::new(1, 0))
             .unwrap();
-        imp.load_module("faulty".into(), Version::new(1, 0)).unwrap();
+        imp.load_module("faulty".into(), Version::new(1, 0))
+            .unwrap();
         let classes = imp.list_classes().unwrap();
         assert_eq!(classes.len(), 2);
         assert!(classes.iter().any(|c| c.class_name == "Counter"));

@@ -1,0 +1,488 @@
+//! Fault injection: a composable wrapper that misdelivers frames on
+//! purpose.
+//!
+//! The paper's capability tags (section 3.5.1) and the reproduction's
+//! deadline/retry machinery exist to survive peers and networks that
+//! misbehave. This module makes misbehaviour *reproducible*: a
+//! [`FaultPlan`] is a deterministic, seedable schedule of frame drops,
+//! delays, duplications, and truncations, plus one-sided partitions and
+//! forced disconnects. Wrapping is transport-agnostic — any [`Channel`]
+//! (in-process, Unix, TCP, WAN) gains the same fault model, and the same
+//! seed replays the same fault sequence, so a red CI soak run is
+//! reproducible locally from its seed alone.
+//!
+//! Faults are applied on the *send* side of the wrapped channel, which
+//! makes every fault naturally one-sided: wrap the client end to break
+//! the client→server direction, the server end for the reverse, or both
+//! ends for a symmetric disaster. Truncation corrupts the payload but
+//! keeps the framing valid, so stream transports stay parseable and the
+//! peer observes a well-framed-but-garbage message (the protocol-violation
+//! path), never a wedged length prefix.
+
+use crate::channel::{Channel, MsgWriter};
+use crate::error::{NetError, NetResult};
+use crate::frame::{encode_frame, Frame};
+use crate::wan::WanConfig;
+use clam_xdr::BufferPool;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic, seedable schedule of transport faults.
+///
+/// Probabilities are per frame, drawn independently in a fixed order
+/// (drop, delay, duplicate, truncate) from a [`SmallRng`] seeded with
+/// [`FaultPlan::seed`] — the same seed always produces the same fault
+/// sequence for the same frame sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG. Equal seeds replay equal fault sequences.
+    pub seed: u64,
+    /// Probability a frame is silently discarded.
+    pub drop: f64,
+    /// Probability a frame is held back before delivery.
+    pub delay: f64,
+    /// Upper bound of the uniform random hold applied to delayed frames.
+    pub max_delay: Duration,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame's payload is truncated (well-framed garbage).
+    pub truncate: f64,
+    /// After this many offered frames, black-hole every send (a one-sided
+    /// partition: the other direction keeps working).
+    pub partition_after: Option<u64>,
+    /// After this many offered frames, close the send side for good:
+    /// further sends fail with [`NetError::Closed`] and the inner writer
+    /// is dropped, so the peer's reader observes the hangup.
+    pub disconnect_after: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    /// No faults, seed 1 (deterministic but benign).
+    fn default() -> Self {
+        FaultPlan {
+            seed: 1,
+            drop: 0.0,
+            delay: 0.0,
+            max_delay: Duration::ZERO,
+            duplicate: 0.0,
+            truncate: 0.0,
+            partition_after: None,
+            disconnect_after: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A benign plan with the fault RNG pinned to `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Derive a plan from a [`WanConfig`]: the fault RNG shares the WAN
+    /// seed, so one number reproduces both jitter and faults.
+    #[must_use]
+    pub fn seeded_from(config: &WanConfig) -> FaultPlan {
+        FaultPlan::seeded(config.seed)
+    }
+
+    /// Drop every frame (the classic black hole).
+    #[must_use]
+    pub fn black_hole(mut self) -> FaultPlan {
+        self.drop = 1.0;
+        self
+    }
+
+    /// Drop frames with probability `p`.
+    #[must_use]
+    pub fn drop_frames(mut self, p: f64) -> FaultPlan {
+        self.drop = p;
+        self
+    }
+
+    /// Delay frames with probability `p` by up to `max`.
+    #[must_use]
+    pub fn delay_frames(mut self, p: f64, max: Duration) -> FaultPlan {
+        self.delay = p;
+        self.max_delay = max;
+        self
+    }
+
+    /// Duplicate frames with probability `p`.
+    #[must_use]
+    pub fn duplicate_frames(mut self, p: f64) -> FaultPlan {
+        self.duplicate = p;
+        self
+    }
+
+    /// Truncate frame payloads with probability `p`.
+    #[must_use]
+    pub fn truncate_frames(mut self, p: f64) -> FaultPlan {
+        self.truncate = p;
+        self
+    }
+
+    /// Black-hole all sends after `n` offered frames.
+    #[must_use]
+    pub fn partition_after(mut self, n: u64) -> FaultPlan {
+        self.partition_after = Some(n);
+        self
+    }
+
+    /// Force-close the send side after `n` offered frames.
+    #[must_use]
+    pub fn disconnect_after(mut self, n: u64) -> FaultPlan {
+        self.disconnect_after = Some(n);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    offered: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+    truncated: AtomicU64,
+    partitioned: AtomicBool,
+    disconnected: AtomicBool,
+}
+
+/// A point-in-time copy of a faulty channel's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Frames handed to the faulty writer.
+    pub offered: u64,
+    /// Frames actually passed to the inner transport (duplicates count).
+    pub delivered: u64,
+    /// Frames silently discarded (drops and partition black-holes).
+    pub dropped: u64,
+    /// Frames held back before delivery.
+    pub delayed: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames delivered with a truncated payload.
+    pub truncated: u64,
+}
+
+/// Live control over a wrapped channel: force partitions and disconnects
+/// at test-chosen moments, and read the fault counters.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    state: Arc<FaultState>,
+}
+
+impl FaultHandle {
+    /// Black-hole all subsequent sends (until [`heal`](FaultHandle::heal)).
+    pub fn partition(&self) {
+        self.state.partitioned.store(true, Ordering::Release);
+    }
+
+    /// Lift a partition: subsequent sends flow again.
+    pub fn heal(&self) {
+        self.state.partitioned.store(false, Ordering::Release);
+    }
+
+    /// Close the send side for good; the peer's reader observes a hangup
+    /// once the inner writer is dropped on the next send attempt.
+    pub fn disconnect(&self) {
+        self.state.disconnected.store(true, Ordering::Release);
+    }
+
+    /// Is the channel currently partitioned?
+    #[must_use]
+    pub fn is_partitioned(&self) -> bool {
+        self.state.partitioned.load(Ordering::Acquire)
+    }
+
+    /// Has the channel been force-disconnected?
+    #[must_use]
+    pub fn is_disconnected(&self) -> bool {
+        self.state.disconnected.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the fault counters.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            offered: self.state.offered.load(Ordering::Relaxed),
+            delivered: self.state.delivered.load(Ordering::Relaxed),
+            dropped: self.state.dropped.load(Ordering::Relaxed),
+            delayed: self.state.delayed.load(Ordering::Relaxed),
+            duplicated: self.state.duplicated.load(Ordering::Relaxed),
+            truncated: self.state.truncated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct FaultyWriter {
+    inner: Option<Box<dyn MsgWriter>>,
+    plan: FaultPlan,
+    rng: SmallRng,
+    state: Arc<FaultState>,
+    /// For recycling the buffers of dropped frames, like a real send.
+    pool: Option<BufferPool>,
+}
+
+impl FaultyWriter {
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53-bit uniform draw in [0, 1).
+        let draw = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+
+    fn discard(&self, frame: Frame) {
+        self.state.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(pool) = &self.pool {
+            pool.recycle(frame.into_wire());
+        }
+    }
+}
+
+impl MsgWriter for FaultyWriter {
+    fn send(&mut self, frame: Frame) -> NetResult<()> {
+        if self.state.disconnected.load(Ordering::Acquire) {
+            self.inner = None; // drop the writer: the peer sees the hangup
+            return Err(NetError::Closed);
+        }
+        let n = self.state.offered.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.disconnect_after.is_some_and(|limit| n > limit) {
+            self.state.disconnected.store(true, Ordering::Release);
+            self.inner = None;
+            return Err(NetError::Closed);
+        }
+        // Trigger exactly on crossing the threshold: the partition flag is
+        // sticky from then on, but a later heal() genuinely lifts it.
+        if self
+            .plan
+            .partition_after
+            .is_some_and(|limit| n == limit + 1)
+        {
+            self.state.partitioned.store(true, Ordering::Release);
+        }
+        if self.state.partitioned.load(Ordering::Acquire) {
+            self.discard(frame);
+            return Ok(()); // black hole: the sender never learns
+        }
+
+        // Independent draws in fixed order keep the sequence a pure
+        // function of (seed, frame index).
+        let dropped = self.chance(self.plan.drop);
+        let delayed = self.chance(self.plan.delay);
+        let duplicated = self.chance(self.plan.duplicate);
+        let truncated = self.chance(self.plan.truncate);
+
+        if dropped {
+            self.discard(frame);
+            return Ok(());
+        }
+        if delayed && !self.plan.max_delay.is_zero() {
+            self.state.delayed.fetch_add(1, Ordering::Relaxed);
+            let hold = self.rng.gen_range(0..=self.plan.max_delay.as_micros());
+            std::thread::sleep(Duration::from_micros(hold as u64));
+        }
+        let inner = self.inner.as_mut().ok_or(NetError::Closed)?;
+        let frame = if truncated && !frame.payload().is_empty() {
+            self.state.truncated.fetch_add(1, Ordering::Relaxed);
+            let payload = frame.payload();
+            let keep = self.rng.gen_range(0..payload.len() as u64) as usize;
+            encode_frame(&payload[..keep])?
+        } else {
+            frame
+        };
+        if duplicated {
+            self.state.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.state.delivered.fetch_add(1, Ordering::Relaxed);
+            inner.send(encode_frame(frame.payload())?)?;
+        }
+        self.state.delivered.fetch_add(1, Ordering::Relaxed);
+        inner.send(frame)
+    }
+
+    fn attach_pool(&mut self, pool: &BufferPool) {
+        self.pool = Some(pool.clone());
+        if let Some(inner) = &mut self.inner {
+            inner.attach_pool(pool);
+        }
+    }
+}
+
+/// Wrapper that injects a [`FaultPlan`] into a channel's send direction.
+///
+/// Composable over every transport: the wrapped thing is a [`Channel`],
+/// so inproc, Unix, TCP, and WAN channels all take faults the same way,
+/// and wrapping the two ends independently yields asymmetric failures.
+pub struct FaultyChannel;
+
+impl FaultyChannel {
+    /// Wrap `channel`, applying `plan` to everything it sends. Receives
+    /// pass through untouched (wrap the peer for the other direction).
+    ///
+    /// Returns the wrapped channel and a [`FaultHandle`] for runtime
+    /// control (forced partitions/disconnects) and fault counters.
+    #[must_use]
+    pub fn wrap(channel: Channel, plan: FaultPlan) -> (Channel, FaultHandle) {
+        let label = format!("faulty-{}", channel.label());
+        let (writer, reader) = channel.split();
+        let (writer, handle) = Self::wrap_writer(writer, plan);
+        (Channel::from_halves(label, writer, reader), handle)
+    }
+
+    /// Wrap just a writer half (for callers that already split).
+    #[must_use]
+    pub fn wrap_writer(
+        writer: Box<dyn MsgWriter>,
+        plan: FaultPlan,
+    ) -> (Box<dyn MsgWriter>, FaultHandle) {
+        let state = Arc::new(FaultState::default());
+        let handle = FaultHandle {
+            state: Arc::clone(&state),
+        };
+        let writer = Box::new(FaultyWriter {
+            inner: Some(writer),
+            rng: SmallRng::seed_from_u64(plan.seed),
+            plan,
+            state,
+            pool: None,
+        });
+        (writer, handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::pair;
+
+    #[test]
+    fn benign_plan_passes_frames_through() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(3));
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap(), b"two");
+        let stats = handle.stats();
+        assert_eq!((stats.offered, stats.delivered, stats.dropped), (2, 2, 0));
+        assert!(format!("{a:?}").contains("faulty-"));
+    }
+
+    #[test]
+    fn black_hole_swallows_everything_silently() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(3).black_hole());
+        for _ in 0..5 {
+            a.send(b"gone").unwrap(); // sender sees success
+        }
+        // Nothing arrived: the peer would block, so check via stats.
+        let stats = handle.stats();
+        assert_eq!((stats.offered, stats.dropped, stats.delivered), (5, 5, 0));
+        drop(a);
+        assert!(b.recv().unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let run = |seed: u64| -> Vec<bool> {
+            let (a, mut b) = pair();
+            let (mut a, _h) = FaultyChannel::wrap(a, FaultPlan::seeded(seed).drop_frames(0.5));
+            for i in 0..32u8 {
+                a.send(&[i][..]).unwrap();
+            }
+            drop(a);
+            let mut arrived = vec![false; 32];
+            while let Ok(frame) = b.recv() {
+                arrived[frame.payload()[0] as usize] = true;
+            }
+            arrived
+        };
+        assert_eq!(run(42), run(42), "same seed replays the same drops");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+        let survivors = run(42).iter().filter(|&&x| x).count();
+        assert!((4..=28).contains(&survivors), "p=0.5 drops roughly half");
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(9).duplicate_frames(1.0));
+        a.send(b"twin").unwrap();
+        assert_eq!(b.recv().unwrap(), b"twin");
+        assert_eq!(b.recv().unwrap(), b"twin");
+        assert_eq!(handle.stats().duplicated, 1);
+        assert_eq!(handle.stats().delivered, 2);
+    }
+
+    #[test]
+    fn truncation_keeps_framing_valid() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(5).truncate_frames(1.0));
+        a.send(b"a-long-enough-payload").unwrap();
+        let got = b.recv().unwrap();
+        assert!(got.payload().len() < b"a-long-enough-payload".len());
+        assert!(b"a-long-enough-payload".starts_with(got.payload()));
+        assert_eq!(handle.stats().truncated, 1);
+    }
+
+    #[test]
+    fn partition_after_n_black_holes_the_rest() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(1).partition_after(2));
+        a.send(b"1").unwrap();
+        a.send(b"2").unwrap();
+        a.send(b"3").unwrap(); // black-holed
+        assert!(handle.is_partitioned());
+        assert_eq!(b.recv().unwrap(), b"1");
+        assert_eq!(b.recv().unwrap(), b"2");
+        assert_eq!(handle.stats().dropped, 1);
+        // One-sided: the reverse direction still works.
+        b.send(b"back").unwrap();
+        assert_eq!(a.recv().unwrap(), b"back");
+        // heal() restores the forward direction.
+        handle.heal();
+        a.send(b"4").unwrap();
+        assert_eq!(b.recv().unwrap(), b"4");
+    }
+
+    #[test]
+    fn forced_disconnect_closes_both_views() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(1).disconnect_after(1));
+        a.send(b"last words").unwrap();
+        assert!(a.send(b"too late").unwrap_err().is_closed());
+        assert!(handle.is_disconnected());
+        assert_eq!(b.recv().unwrap(), b"last words");
+        assert!(b.recv().unwrap_err().is_closed(), "peer sees the hangup");
+    }
+
+    #[test]
+    fn handle_can_disconnect_mid_stream() {
+        let (a, mut b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, FaultPlan::seeded(1));
+        a.send(b"ok").unwrap();
+        handle.disconnect();
+        assert!(a.send(b"dead").unwrap_err().is_closed());
+        assert_eq!(b.recv().unwrap(), b"ok");
+        assert!(b.recv().unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn plan_derives_seed_from_wan_config() {
+        let wan = WanConfig::default().with_seed(77);
+        let plan = FaultPlan::seeded_from(&wan);
+        assert_eq!(plan.seed, 77);
+    }
+}

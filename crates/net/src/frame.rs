@@ -64,12 +64,13 @@ impl Frame {
     /// prefix, its prefix disagrees with its length, or the payload
     /// exceeds [`MAX_FRAME_LEN`].
     pub fn from_wire(wire: Vec<u8>) -> NetResult<Frame> {
-        let payload_len = wire.len().checked_sub(FRAME_PREFIX_LEN).ok_or(
-            NetError::FrameTooLarge {
-                len: wire.len(),
-                max: MAX_FRAME_LEN,
-            },
-        )?;
+        let payload_len =
+            wire.len()
+                .checked_sub(FRAME_PREFIX_LEN)
+                .ok_or(NetError::FrameTooLarge {
+                    len: wire.len(),
+                    max: MAX_FRAME_LEN,
+                })?;
         check_payload_len(payload_len)?;
         let prefix = u32::from_be_bytes(wire[..FRAME_PREFIX_LEN].try_into().expect("4 bytes"));
         if prefix as usize != payload_len {
@@ -344,10 +345,7 @@ pub fn read_frame_into<R: Read>(r: &mut R, mut buf: Vec<u8>) -> NetResult<Frame>
 }
 
 /// Read one frame, drawing the buffer from `pool` when one is attached.
-pub(crate) fn read_frame_pooled<R: Read>(
-    r: &mut R,
-    pool: Option<&BufferPool>,
-) -> NetResult<Frame> {
+pub(crate) fn read_frame_pooled<R: Read>(r: &mut R, pool: Option<&BufferPool>) -> NetResult<Frame> {
     let buf = pool.map_or_else(Vec::new, BufferPool::acquire);
     read_frame_into(r, buf)
 }

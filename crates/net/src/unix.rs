@@ -125,7 +125,9 @@ mod tests {
         let path = temp_sock("stale");
         std::fs::write(&path, b"").unwrap(); // a plain file at the path
         let _ = std::fs::remove_file(&path);
-        std::os::unix::net::UnixListener::bind(&path).map(drop).unwrap();
+        std::os::unix::net::UnixListener::bind(&path)
+            .map(drop)
+            .unwrap();
         // The bound listener is dropped but the file remains: stale.
         assert!(path.exists());
         let l = net_listen(&Endpoint::unix(&path)).unwrap();

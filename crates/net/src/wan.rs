@@ -18,7 +18,8 @@ use crate::error::NetResult;
 use crate::frame::Frame;
 use crate::{tcp, Listener};
 use clam_xdr::BufferPool;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +30,11 @@ pub struct WanConfig {
     pub one_way_latency: Duration,
     /// Upper bound of uniform random extra delay per frame (0 disables).
     pub max_jitter: Duration,
+    /// Seed for the jitter generator. `0` (the default) draws fresh
+    /// entropy per channel; any other value makes the jitter stream — and
+    /// anything else derived from this config, such as a fault plan —
+    /// fully deterministic.
+    pub seed: u64,
 }
 
 impl Default for WanConfig {
@@ -37,6 +43,7 @@ impl Default for WanConfig {
         WanConfig {
             one_way_latency: Duration::from_micros(450),
             max_jitter: Duration::ZERO,
+            seed: 0,
         }
     }
 }
@@ -48,6 +55,26 @@ impl WanConfig {
         WanConfig {
             one_way_latency,
             max_jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Pin the jitter generator to `seed` (deterministic delivery times).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The generator this config prescribes: seeded if [`WanConfig::seed`]
+    /// is nonzero, fresh entropy otherwise. Fault-injection plans layered
+    /// over a WAN channel derive their RNG from the same seed.
+    #[must_use]
+    pub fn rng(&self) -> SmallRng {
+        if self.seed != 0 {
+            SmallRng::seed_from_u64(self.seed)
+        } else {
+            SmallRng::seed_from_u64(rand::thread_rng().next_u64())
         }
     }
 }
@@ -57,6 +84,7 @@ impl WanConfig {
 struct DelayedReader {
     inner: Box<dyn MsgReader>,
     config: WanConfig,
+    rng: SmallRng,
 }
 
 impl MsgReader for DelayedReader {
@@ -65,7 +93,7 @@ impl MsgReader for DelayedReader {
         let arrived = Instant::now();
         let mut hold = self.config.one_way_latency;
         if !self.config.max_jitter.is_zero() {
-            let extra = rand::thread_rng().gen_range(0..=self.config.max_jitter.as_micros());
+            let extra = self.rng.gen_range(0..=self.config.max_jitter.as_micros());
             hold += Duration::from_micros(extra as u64);
         }
         let deliver_at = arrived + hold;
@@ -89,6 +117,7 @@ fn wrap(channel: Channel, config: WanConfig) -> Channel {
         writer,
         Box::new(DelayedReader {
             inner: reader,
+            rng: config.rng(),
             config,
         }),
     )
@@ -173,5 +202,17 @@ mod tests {
     fn default_latency_matches_figure_5_1_gap() {
         let d = WanConfig::default();
         assert_eq!(d.one_way_latency, Duration::from_micros(450));
+        assert_eq!(d.seed, 0, "default is unseeded (fresh entropy)");
+    }
+
+    #[test]
+    fn seeded_configs_yield_identical_jitter_streams() {
+        let a = WanConfig::with_latency(Duration::ZERO).with_seed(7);
+        let b = WanConfig::with_latency(Duration::ZERO).with_seed(7);
+        let mut ra = a.rng();
+        let mut rb = b.rng();
+        let sa: Vec<u64> = (0..16).map(|_| ra.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| rb.next_u64()).collect();
+        assert_eq!(sa, sb, "same seed must reproduce the same stream");
     }
 }

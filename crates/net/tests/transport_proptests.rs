@@ -5,10 +5,7 @@ use clam_net::{connect, listen, pair, Endpoint};
 use proptest::prelude::*;
 
 fn arb_frames() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 0..512),
-        1..16,
-    )
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 1..16)
 }
 
 fn roundtrip_over(mut a: clam_net::Channel, mut b: clam_net::Channel, frames: &[Vec<u8>]) {

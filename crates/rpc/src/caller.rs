@@ -13,8 +13,10 @@
 //! [`Caller::call_async`] is the batched form; [`Caller::flush`] is the
 //! special synchronization procedure.
 
+use crate::deadline::DeadlineWatchdog;
 use crate::error::{RpcError, RpcResult, StatusCode};
 use crate::message::{BatchEncoder, Call, Message, Reply, Target};
+use crate::server::SYNC_SERVICE_ID;
 use clam_net::{MsgReader, MsgWriter};
 use clam_task::{Event, Scheduler};
 use clam_xdr::{BufferPool, Opaque};
@@ -22,6 +24,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 thread_local! {
     /// True while this thread is executing an upcall handler whose
@@ -61,6 +64,12 @@ pub struct CallerConfig {
     /// Flush automatically once the encoded batch payload exceeds this
     /// many bytes.
     pub flush_at_bytes: usize,
+    /// Default deadline for synchronous calls: a call whose reply has not
+    /// arrived within this window fails with
+    /// [`RpcError::DeadlineExceeded`] instead of blocking forever on a
+    /// dead or partitioned peer. `None` restores the paper's unbounded
+    /// wait. Overridable per call via [`CallOptions::deadline`].
+    pub call_timeout: Option<Duration>,
 }
 
 impl Default for CallerConfig {
@@ -68,7 +77,60 @@ impl Default for CallerConfig {
         CallerConfig {
             flush_at_calls: 64,
             flush_at_bytes: 64 * 1024,
+            call_timeout: Some(Duration::from_secs(30)),
         }
+    }
+}
+
+/// Per-call knobs for [`Caller::call_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallOptions {
+    /// Deadline for this call; `None` uses [`CallerConfig::call_timeout`].
+    pub deadline: Option<Duration>,
+    /// The remote procedure is safe to execute more than once. Only
+    /// idempotent calls are retried: a deadline says nothing about
+    /// whether the call ran remotely.
+    pub idempotent: bool,
+    /// Retry an idempotent call at most this many extra times after a
+    /// deadline expiry (0 disables retries).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles after each attempt
+    /// (exponential backoff).
+    pub backoff: Duration,
+}
+
+impl Default for CallOptions {
+    fn default() -> Self {
+        CallOptions {
+            deadline: None,
+            idempotent: false,
+            max_retries: 0,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl CallOptions {
+    /// Override the deadline for this call.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Mark the call idempotent and allow up to `max_retries` retries.
+    #[must_use]
+    pub fn idempotent_with_retries(mut self, max_retries: u32) -> Self {
+        self.idempotent = true;
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Set the initial retry backoff (doubles per attempt).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
     }
 }
 
@@ -103,6 +165,8 @@ pub struct Caller {
     config: CallerConfig,
     /// Buffers cycle: acquire → encode batch → send → transport recycles.
     pool: BufferPool,
+    /// Enforces call deadlines from outside the event machinery.
+    watchdog: DeadlineWatchdog,
 }
 
 impl std::fmt::Debug for Caller {
@@ -141,6 +205,7 @@ impl Caller {
             closed: AtomicBool::new(false),
             config,
             pool,
+            watchdog: DeadlineWatchdog::new(),
         })
     }
 
@@ -151,13 +216,69 @@ impl Caller {
     }
 
     /// Synchronous call: flushes any pending batch (ahead of this call,
-    /// preserving order), sends, and blocks until the reply arrives.
+    /// preserving order), sends, and blocks until the reply arrives or
+    /// the configured [`CallerConfig::call_timeout`] passes.
     ///
     /// # Errors
     ///
     /// Transport errors, [`RpcError::Disconnected`] if the connection
-    /// drops while waiting, or [`RpcError::Status`] for remote failures.
+    /// drops while waiting, [`RpcError::DeadlineExceeded`] on timeout, or
+    /// [`RpcError::Status`] for remote failures.
     pub fn call(&self, target: Target, method: u32, args: Opaque) -> RpcResult<Opaque> {
+        self.call_once(target, method, args, self.config.call_timeout)
+    }
+
+    /// Synchronous call with per-call options: a deadline override and —
+    /// for idempotent procedures — bounded retry with exponential
+    /// backoff on deadline expiry. A deadline proves nothing about
+    /// whether the remote side executed the call, so only calls the
+    /// caller declares [`CallOptions::idempotent`] are ever re-sent
+    /// (each attempt under a fresh request id).
+    ///
+    /// # Errors
+    ///
+    /// As [`Caller::call`]; [`RpcError::DeadlineExceeded`] surfaces once
+    /// retries (if any) are exhausted.
+    pub fn call_with(
+        &self,
+        target: Target,
+        method: u32,
+        args: Opaque,
+        options: CallOptions,
+    ) -> RpcResult<Opaque> {
+        let deadline = options.deadline.or(self.config.call_timeout);
+        let mut backoff = options.backoff;
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(target, method, args.clone(), deadline) {
+                Err(RpcError::DeadlineExceeded)
+                    if options.idempotent && attempt < options.max_retries =>
+                {
+                    attempt += 1;
+                    self.backoff_sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Block cooperatively for `duration`: a task yields the processor
+    /// (the watchdog signals it back awake); a plain thread just parks.
+    fn backoff_sleep(&self, duration: Duration) {
+        let gate = Arc::new(Event::new(&self.sched));
+        let armed = Arc::clone(&gate);
+        self.watchdog.arm_after(duration, move || armed.signal());
+        gate.wait();
+    }
+
+    fn call_once(
+        &self,
+        target: Target,
+        method: u32,
+        args: Opaque,
+        deadline: Option<Duration>,
+    ) -> RpcResult<Opaque> {
         if self.closed.load(Ordering::Acquire) {
             return Err(RpcError::Disconnected);
         }
@@ -166,9 +287,7 @@ impl Caller {
             event: Event::new(&self.sched),
             slot: Mutex::new(None),
         });
-        self.pending
-            .lock()
-            .insert(request_id, Arc::clone(&wait));
+        self.pending.lock().insert(request_id, Arc::clone(&wait));
 
         let nested = in_nested_context();
         let send_result = {
@@ -208,8 +327,27 @@ impl Caller {
             return Err(e);
         }
 
+        if let Some(limit) = deadline {
+            // Expiry completes the call from outside: occupy the reply
+            // slot and wake the waiter. If the reply won the race the
+            // slot is taken and this is a no-op (the extra signal banks
+            // on a dying event).
+            let armed = Arc::clone(&wait);
+            self.watchdog.arm_after(limit, move || {
+                let mut slot = armed.slot.lock();
+                if slot.is_none() {
+                    *slot = Some(Err(RpcError::DeadlineExceeded));
+                    drop(slot);
+                    armed.event.signal();
+                }
+            });
+        }
+
         wait.event.wait();
         let outcome = wait.slot.lock().take();
+        // On expiry the entry is still in the map (a late reply must not
+        // find it); on a normal reply this remove is a no-op.
+        self.pending.lock().remove(&request_id);
         outcome.unwrap_or(Err(RpcError::Disconnected))
     }
 
@@ -254,6 +392,27 @@ impl Caller {
     /// Transport errors.
     pub fn flush(&self) -> RpcResult<()> {
         self.flush_locked(&mut self.out.lock())
+    }
+
+    /// Flush the current batch and wait — bounded by the configured
+    /// call timeout — until the server acknowledges having processed it.
+    ///
+    /// [`flush`](Caller::flush) only hands the batch to the transport; a
+    /// dead peer absorbs it silently. This is the paper's "special
+    /// synchronization procedure" made fault-aware: it rides a
+    /// synchronous call to the built-in sync-point service
+    /// ([`SYNC_SERVICE_ID`]), which every [`RpcServer`] registers, so the
+    /// ack proves in-order processing of everything batched before it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Caller::call`] — notably [`RpcError::DeadlineExceeded`] when
+    /// the peer never acknowledges.
+    ///
+    /// [`RpcServer`]: crate::RpcServer
+    pub fn flush_acked(&self) -> RpcResult<()> {
+        self.call(Target::Builtin(SYNC_SERVICE_ID), 0, Opaque::new())
+            .map(|_| ())
     }
 
     /// Encode `call` onto the in-progress wire batch, starting one in a
@@ -440,9 +599,7 @@ mod tests {
         let (batches, calls) = caller.send_stats();
         assert_eq!((batches, calls), (0, 0), "async calls are held back");
         // The sync call flushes everything in one frame, in order.
-        caller
-            .call(Target::Builtin(1), 1, Opaque::new())
-            .unwrap();
+        caller.call(Target::Builtin(1), 1, Opaque::new()).unwrap();
         let (batches, calls) = caller.send_stats();
         assert_eq!(batches, 1, "one frame carried all eleven calls");
         assert_eq!(calls, 11);
@@ -475,6 +632,7 @@ mod tests {
             CallerConfig {
                 flush_at_calls: 4,
                 flush_at_bytes: usize::MAX,
+                ..CallerConfig::default()
             },
         );
         for _ in 0..4 {
@@ -568,7 +726,9 @@ mod tests {
         let l = Arc::clone(&log);
         let h1 = sched.spawn("rpc-task", move || {
             l.lock().push("call-start");
-            let out = c.call(Target::Builtin(1), 0, Opaque::from(vec![7])).unwrap();
+            let out = c
+                .call(Target::Builtin(1), 0, Opaque::from(vec![7]))
+                .unwrap();
             assert_eq!(out.as_slice(), &[7]);
             l.lock().push("call-done");
         });
@@ -581,6 +741,149 @@ mod tests {
         let log = log.lock();
         // While the RPC task waited, the other task got the processor.
         assert_eq!(*log, vec!["call-start", "other-ran", "call-done"]);
+        drop(caller);
+        let _ = srv.join();
+    }
+
+    use std::time::{Duration, Instant};
+
+    /// A server that receives frames (keeping the link alive) but never
+    /// replies — a black hole. Returns the frame count on disconnect.
+    fn serve_black_hole(mut server: clam_net::Channel) -> std::thread::JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut frames = 0u64;
+            while server.recv().is_ok() {
+                frames += 1;
+            }
+            frames
+        })
+    }
+
+    fn timed_caller(timeout: Duration) -> (Arc<Caller>, clam_net::Channel) {
+        let (client, server) = pair();
+        let sched = Scheduler::new("deadline-test");
+        let (w, r) = client.split();
+        let caller = Caller::new(
+            &sched,
+            w,
+            CallerConfig {
+                call_timeout: Some(timeout),
+                ..CallerConfig::default()
+            },
+        );
+        caller.spawn_reply_pump(r);
+        (caller, server)
+    }
+
+    #[test]
+    fn black_holed_call_deadlines_within_twice_the_timeout() {
+        let timeout = Duration::from_millis(150);
+        let (caller, server) = timed_caller(timeout);
+        let srv = serve_black_hole(server);
+        let start = Instant::now();
+        let err = caller
+            .call(Target::Builtin(1), 0, Opaque::new())
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, RpcError::DeadlineExceeded), "got {err:?}");
+        assert!(elapsed >= timeout, "fired early: {elapsed:?}");
+        assert!(
+            elapsed < timeout * 2,
+            "deadline must fire within 2x the timeout, took {elapsed:?}"
+        );
+        assert_eq!(caller.outstanding(), 0, "expired call must be reaped");
+        drop(caller);
+        let _ = srv.join();
+    }
+
+    #[test]
+    fn idempotent_call_is_retried_after_deadline() {
+        let (caller, mut server) = timed_caller(Duration::from_millis(100));
+        // Swallow the first attempt; answer the second.
+        let srv = std::thread::spawn(move || {
+            let _ = server.recv().unwrap(); // attempt 1: black-holed
+            let frame = server.recv().unwrap(); // attempt 2: served
+            let Ok(Message::CallBatch(calls)) = Message::from_frame(&frame) else {
+                panic!("unexpected message");
+            };
+            let reply = Message::Reply(Reply {
+                request_id: calls[0].request_id,
+                status: StatusCode::Ok,
+                detail: String::new(),
+                results: calls[0].args.clone(),
+            });
+            server.send(reply.to_frame().unwrap()).unwrap();
+            calls[0].request_id
+        });
+        let out = caller
+            .call_with(
+                Target::Builtin(1),
+                0,
+                Opaque::from(vec![9]),
+                CallOptions::default()
+                    .idempotent_with_retries(2)
+                    .with_backoff(Duration::from_millis(5)),
+            )
+            .unwrap();
+        assert_eq!(out.as_slice(), &[9]);
+        let second_id = srv.join().unwrap();
+        assert!(second_id >= 2, "the retry must use a fresh request id");
+    }
+
+    #[test]
+    fn non_idempotent_calls_are_never_retried() {
+        let (caller, server) = timed_caller(Duration::from_millis(80));
+        let srv = serve_black_hole(server);
+        let err = caller
+            .call_with(
+                Target::Builtin(1),
+                0,
+                Opaque::new(),
+                CallOptions {
+                    max_retries: 3, // ignored without the idempotent marker
+                    ..CallOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, RpcError::DeadlineExceeded));
+        drop(caller);
+        assert_eq!(srv.join().unwrap(), 1, "exactly one attempt on the wire");
+    }
+
+    #[test]
+    fn flush_acked_confirms_processing_through_the_sync_point() {
+        let (client, server) = pair();
+        let sched = Scheduler::new("flush-ack");
+        let (w, r) = client.split();
+        let caller = Caller::new(&sched, w, CallerConfig::default());
+        caller.spawn_reply_pump(r);
+        let rpc = Arc::new(crate::RpcServer::new());
+        let srv = {
+            let rpc = Arc::clone(&rpc);
+            std::thread::spawn(move || rpc.serve_channel(crate::ConnId(1), server))
+        };
+        for i in 0..5u8 {
+            caller
+                .call_async(Target::Builtin(SYNC_SERVICE_ID), 1, Opaque::from(vec![i]))
+                .unwrap();
+        }
+        caller.flush_acked().unwrap();
+        let (batches, calls) = caller.send_stats();
+        assert_eq!(calls, 6, "five async calls plus the sync point");
+        assert_eq!(batches, 1, "everything rode one frame");
+        drop(caller);
+        let _ = srv.join();
+    }
+
+    #[test]
+    fn flush_acked_deadlines_against_a_dead_peer() {
+        let (caller, server) = timed_caller(Duration::from_millis(100));
+        let srv = serve_black_hole(server);
+        caller
+            .call_async(Target::Builtin(SYNC_SERVICE_ID), 1, Opaque::new())
+            .unwrap();
+        let err = caller.flush_acked().unwrap_err();
+        assert!(matches!(err, RpcError::DeadlineExceeded), "got {err:?}");
         drop(caller);
         let _ = srv.join();
     }

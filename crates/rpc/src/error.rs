@@ -54,6 +54,9 @@ pub enum RpcError {
     Disconnected,
     /// The peer violated the message protocol.
     Protocol(String),
+    /// The call's deadline passed before the reply arrived. The call may
+    /// or may not have executed remotely — retry only idempotent calls.
+    DeadlineExceeded,
 }
 
 impl RpcError {
@@ -86,6 +89,7 @@ impl fmt::Display for RpcError {
             }
             RpcError::Disconnected => write!(f, "connection lost with calls outstanding"),
             RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            RpcError::DeadlineExceeded => write!(f, "call deadline exceeded"),
         }
     }
 }

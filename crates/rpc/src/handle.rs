@@ -9,6 +9,7 @@
 //! compared before the object is touched.
 
 use crate::error::{RpcError, RpcResult, StatusCode};
+use crate::server::ConnId;
 use rand::RngCore;
 use std::any::Any;
 use std::collections::HashMap;
@@ -73,6 +74,10 @@ pub struct ObjectEntry {
     version: u32,
     tag: u64,
     object: Arc<dyn Any + Send + Sync>,
+    /// The connection whose call created this object, if any. When that
+    /// peer dies the table bumps the entry's tag so the dead client's
+    /// handles — should they ever resurface — fail the Figure 3.3 check.
+    owner: Option<ConnId>,
 }
 
 impl std::fmt::Debug for ObjectEntry {
@@ -101,6 +106,13 @@ impl ObjectEntry {
     #[must_use]
     pub fn object(&self) -> &Arc<dyn Any + Send + Sync> {
         &self.object
+    }
+
+    /// The connection that created the object, if it was registered
+    /// while dispatching a client's call.
+    #[must_use]
+    pub fn owner(&self) -> Option<ConnId> {
+        self.owner
     }
 }
 
@@ -137,6 +149,20 @@ impl ObjectTable {
         version: u32,
         object: Arc<dyn Any + Send + Sync>,
     ) -> Handle {
+        self.register_owned(class_id, version, object, None)
+    }
+
+    /// [`register`](ObjectTable::register) with ownership: `owner` is
+    /// the connection whose call created the object, so the entry can be
+    /// invalidated when that peer dies
+    /// (see [`invalidate_owner`](ObjectTable::invalidate_owner)).
+    pub fn register_owned(
+        &mut self,
+        class_id: u32,
+        version: u32,
+        object: Arc<dyn Any + Send + Sync>,
+        owner: Option<ConnId>,
+    ) -> Handle {
         let object_id = self.next_id;
         self.next_id += 1;
         let mut tag = rand::thread_rng().next_u64();
@@ -150,9 +176,31 @@ impl ObjectTable {
                 version,
                 tag,
                 object,
+                owner,
             },
         );
         Handle { object_id, tag }
+    }
+
+    /// Invalidate every entry owned by `owner`: each tag is bumped, so
+    /// handles the dead client held (or leaked to others) now fail the
+    /// Figure 3.3 tag check with [`StatusCode::StaleHandle`]. The objects
+    /// themselves stay registered — the server may still hold internal
+    /// references — but no stale capability reaches them again.
+    ///
+    /// Returns the number of entries invalidated.
+    pub fn invalidate_owner(&mut self, owner: ConnId) -> usize {
+        let mut bumped = 0;
+        for entry in self.entries.values_mut() {
+            if entry.owner == Some(owner) {
+                entry.tag = match entry.tag.wrapping_add(1) {
+                    0 => 1, // 0 is reserved for the nil handle
+                    t => t,
+                };
+                bumped += 1;
+            }
+        }
+        bumped
     }
 
     /// Look up a handle, validating its tag (Figure 3.3's check).
@@ -187,7 +235,11 @@ impl ObjectTable {
         Arc::downcast::<T>(Arc::clone(&entry.object)).map_err(|_| {
             RpcError::status(
                 StatusCode::NoSuchMethod,
-                format!("object {} is not a {}", handle.object_id, std::any::type_name::<T>()),
+                format!(
+                    "object {} is not a {}",
+                    handle.object_id,
+                    std::any::type_name::<T>()
+                ),
             )
         })
     }
@@ -303,6 +355,34 @@ mod tests {
         let bytes = clam_xdr::encode(&h).unwrap();
         assert_eq!(bytes.len(), 16);
         assert_eq!(clam_xdr::decode::<Handle>(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn invalidate_owner_bumps_tags_to_stale() {
+        let mut table = ObjectTable::new();
+        let dead = ConnId(7);
+        let owned = table.register_owned(1, 1, Arc::new(1u8), Some(dead));
+        let other = table.register_owned(1, 1, Arc::new(2u8), Some(ConnId(8)));
+        let unowned = table.register(1, 1, Arc::new(3u8));
+
+        assert_eq!(table.invalidate_owner(dead), 1);
+        // The dead client's handle now fails the tag check — StaleHandle,
+        // not NoSuchObject: the object still exists, the capability died.
+        let err = table.lookup(owned).unwrap_err();
+        assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
+        // Unrelated entries are untouched.
+        assert!(table.lookup(other).is_ok());
+        assert!(table.lookup(unowned).is_ok());
+        assert_eq!(table.len(), 3, "objects stay registered");
+    }
+
+    #[test]
+    fn owner_is_recorded_on_registration() {
+        let mut table = ObjectTable::new();
+        let h = table.register_owned(1, 1, Arc::new(()), Some(ConnId(3)));
+        assert_eq!(table.lookup(h).unwrap().owner(), Some(ConnId(3)));
+        let h2 = table.register(1, 1, Arc::new(()));
+        assert_eq!(table.lookup(h2).unwrap().owner(), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::error::StatusCode;
 use crate::handle::Handle;
 use clam_net::{Frame, FrameEncoder, MAX_FRAME_LEN};
-use clam_xdr::{Bundle, BufferPool, Opaque, XdrError, XdrResult, XdrStream};
+use clam_xdr::{BufferPool, Bundle, Opaque, XdrError, XdrResult, XdrStream};
 
 /// What a call is aimed at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

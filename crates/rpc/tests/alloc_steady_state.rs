@@ -76,6 +76,7 @@ fn batched_async_calls_allocate_nothing_at_steady_state() {
         CallerConfig {
             flush_at_calls: 8,
             flush_at_bytes: 64 * 1024,
+            ..CallerConfig::default()
         },
     );
 

@@ -4,8 +4,7 @@
 
 use clam_net::pair;
 use clam_rpc::{
-    in_nested_context, nested_call_scope, Caller, CallerConfig, Message, Reply, StatusCode,
-    Target,
+    in_nested_context, nested_call_scope, Caller, CallerConfig, Message, Reply, StatusCode, Target,
 };
 use clam_task::Scheduler;
 use clam_xdr::Opaque;

@@ -61,12 +61,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         proptest::collection::vec(arb_call(), 0..8).prop_map(Message::CallBatch),
         arb_reply().prop_map(Message::Reply),
-        (any::<u64>(), any::<u64>(), arb_opaque())
-            .prop_map(|(proc_id, request_id, args)| Message::Upcall(UpcallMsg {
+        (any::<u64>(), any::<u64>(), arb_opaque()).prop_map(|(proc_id, request_id, args)| {
+            Message::Upcall(UpcallMsg {
                 proc_id,
                 request_id,
                 args,
-            })),
+            })
+        }),
         arb_reply().prop_map(Message::UpcallReply),
     ]
 }

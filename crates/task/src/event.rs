@@ -12,7 +12,9 @@
 //! Foreign threads may also *wait* on an event; they block on a condition
 //! variable rather than participating in task scheduling.
 
-use crate::scheduler::{block_current_task, current_task_of, wake_picked_task, SchedInner, Scheduler};
+use crate::scheduler::{
+    block_current_task, current_task_of, wake_picked_task, SchedInner, Scheduler,
+};
 use crate::task::TaskId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;

@@ -406,10 +406,7 @@ impl Scheduler {
     fn block_current_locked(inner: &SchedInner, mut st: MutexGuard<'_, SchedState>, me: TaskId) {
         debug_assert_eq!(st.current, Some(me), "only the running task may block");
         let my_baton = {
-            let e = st
-                .tasks
-                .get_mut(&me.0)
-                .expect("blocking task has an entry");
+            let e = st.tasks.get_mut(&me.0).expect("blocking task has an entry");
             e.state = TaskState::Blocked;
             Arc::clone(&e.baton)
         };

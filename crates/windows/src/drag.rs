@@ -142,9 +142,7 @@ impl DragLayer {
                 if drawn {
                     screen.xor_rect(outline, DRAG_MASK);
                 }
-                let new_outline = self
-                    .original
-                    .offset(p.x - grab.x, p.y - grab.y);
+                let new_outline = self.original.offset(p.x - grab.x, p.y - grab.y);
                 screen.xor_rect(new_outline, DRAG_MASK);
                 self.state = State::Dragging {
                     grab,

@@ -50,9 +50,9 @@ impl InputEvent {
     #[must_use]
     pub fn position(&self) -> Option<Point> {
         match self {
-            InputEvent::MouseMove(p)
-            | InputEvent::MouseDown(p, _)
-            | InputEvent::MouseUp(p, _) => Some(*p),
+            InputEvent::MouseMove(p) | InputEvent::MouseDown(p, _) | InputEvent::MouseUp(p, _) => {
+                Some(*p)
+            }
             InputEvent::Key(_) => None,
         }
     }

@@ -207,7 +207,10 @@ mod tests {
         let mut m = menu();
         m.open(Point::new(0, 0));
         assert_eq!(m.item_at(Point::new(3, 2)), Some(0));
-        assert_eq!(m.item_at(Point::new(3, 1 + ITEM_HEIGHT as i32 + 1)), Some(1));
+        assert_eq!(
+            m.item_at(Point::new(3, 1 + ITEM_HEIGHT as i32 + 1)),
+            Some(1)
+        );
         assert_eq!(
             m.item_at(Point::new(3, 1 + 2 * ITEM_HEIGHT as i32 + 1)),
             Some(2)

@@ -8,12 +8,12 @@
 //! as events propagate upward — the complete Figure 4.1 flow across
 //! address spaces.
 
+use crate::drag::{DragLayer, DragOutcome, WindowMoved};
 use crate::events::InputEvent;
 use crate::geometry::{Point, Rect, Size};
 use crate::graphics3d::{Graphics3DClass, Graphics3DImpl};
-use crate::screen::Screen;
-use crate::drag::{DragLayer, DragOutcome, WindowMoved};
 use crate::menu::Menu;
+use crate::screen::Screen;
 use crate::sweep::{SweepLayer, SweepOptions, SweepOutcome};
 use crate::window::WindowId;
 use crate::wm::WindowManager;
@@ -306,10 +306,7 @@ impl Desktop for DesktopImpl {
                     .handle_event(screen, event);
                 match outcome {
                     DragOutcome::Completed(moved) => {
-                        let targets = drag
-                            .as_ref()
-                            .expect("drag present")
-                            .completion_targets();
+                        let targets = drag.as_ref().expect("drag present").completion_targets();
                         st.drag = None; // one-shot
                         if let Some(w) = st.wm.window_mut(moved.window) {
                             w.move_to(moved.to.origin);
@@ -332,10 +329,7 @@ impl Desktop for DesktopImpl {
                     .handle_event(screen, event);
                 match outcome {
                     SweepOutcome::Completed(rect) => {
-                        let targets = sweep
-                            .as_ref()
-                            .expect("sweep present")
-                            .completion_targets();
+                        let targets = sweep.as_ref().expect("sweep present").completion_targets();
                         st.sweep = None; // one-shot
                         let id = st.wm.create_window(rect, "swept");
                         let _ = id;
@@ -625,9 +619,7 @@ mod tests {
             )
             .unwrap();
         });
-        let delivered = d
-            .inject(InputEvent::MouseMove(Point::new(25, 25)))
-            .unwrap();
+        let delivered = d.inject(InputEvent::MouseMove(Point::new(25, 25))).unwrap();
         assert_eq!(delivered, 1);
         assert_eq!(*hits.lock(), 1);
     }

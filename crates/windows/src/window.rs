@@ -221,7 +221,11 @@ mod tests {
         let client = w.client_area();
         let p = Point::new(client.left() + 3, client.top() + 4);
         assert_eq!(w.to_client(p), Some(Point::new(3, 4)));
-        assert_eq!(w.to_client(Point::new(10, 10)), None, "border is not client");
+        assert_eq!(
+            w.to_client(Point::new(10, 10)),
+            None,
+            "border is not client"
+        );
     }
 
     #[test]
@@ -243,10 +247,7 @@ mod tests {
         // Border corner pixel.
         assert_eq!(screen.pixel(Point::new(10, 10)), Some(colors::BORDER));
         // Title bar pixel (right side, away from any title glyphs).
-        assert_eq!(
-            screen.pixel(Point::new(45, 12)),
-            Some(colors::TITLE_BAR)
-        );
+        assert_eq!(screen.pixel(Point::new(45, 12)), Some(colors::TITLE_BAR));
         // Client pixel.
         let c = w.client_area();
         assert_eq!(

@@ -365,10 +365,7 @@ mod tests {
     #[test]
     fn click_focuses_and_raises() {
         let (mut wm, a, _b) = manager_with_two_windows();
-        let routed = wm.route_event(InputEvent::MouseDown(
-            Point::new(5, 5),
-            MouseButton::Left,
-        ));
+        let routed = wm.route_event(InputEvent::MouseDown(Point::new(5, 5), MouseButton::Left));
         // a was hit; with no listeners the event queues, but focus and
         // raise still applied.
         assert_eq!(routed.disposition, Disposition::Queued);

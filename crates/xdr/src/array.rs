@@ -66,12 +66,13 @@ impl<T: Bundle, const N: usize> Bundle for [T; N] {
                 T::bundle(stream, &mut elem)?;
                 elems.push(elem.ok_or(XdrError::MissingValue(std::any::type_name::<T>()))?);
             }
-            let arr: [T; N] = elems.try_into().map_err(|v: Vec<T>| {
-                XdrError::FixedLengthMismatch {
-                    expected: N,
-                    actual: v.len(),
-                }
-            })?;
+            let arr: [T; N] =
+                elems
+                    .try_into()
+                    .map_err(|v: Vec<T>| XdrError::FixedLengthMismatch {
+                        expected: N,
+                        actual: v.len(),
+                    })?;
             *slot = Some(arr);
             Ok(())
         } else {
@@ -231,7 +232,11 @@ mod tests {
 
     #[test]
     fn vec_of_strings_round_trips() {
-        let v = vec!["a".to_string(), "".to_string(), "long string here".to_string()];
+        let v = vec![
+            "a".to_string(),
+            "".to_string(),
+            "long string here".to_string(),
+        ];
         let bytes = encode(&v).unwrap();
         assert_eq!(decode::<Vec<String>>(&bytes).unwrap(), v);
     }

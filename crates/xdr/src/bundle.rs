@@ -151,9 +151,9 @@ impl<T: Bundle> Bundle for Option<T> {
             if present {
                 let mut inner = None;
                 T::bundle(stream, &mut inner)?;
-                *slot = Some(Some(inner.ok_or(XdrError::MissingValue(
-                    std::any::type_name::<T>(),
-                ))?));
+                *slot = Some(Some(
+                    inner.ok_or(XdrError::MissingValue(std::any::type_name::<T>()))?,
+                ));
             } else {
                 *slot = Some(None);
             }

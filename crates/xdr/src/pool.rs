@@ -117,7 +117,11 @@ impl BufferPool {
     /// Number of idle buffers currently pooled.
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.inner.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
     /// Usage counters since the pool was created.

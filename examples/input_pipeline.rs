@@ -68,8 +68,8 @@ fn main() {
         // lives in this module's constructor).
         server
             .loader()
-            .install(Arc::new(SimpleModule::new("user2", Version::new(1, 0)).with_class(
-                ClassSpec::new(
+            .install(Arc::new(
+                SimpleModule::new("user2", Version::new(1, 0)).with_class(ClassSpec::new(
                     "User2",
                     Arc::new(clam_windows::module::DesktopClass::<
                         clam_windows::module::DesktopImpl,
@@ -80,8 +80,8 @@ fn main() {
                             "user2 is registration-only",
                         ))
                     }),
-                ),
-            )))
+                )),
+            ))
             .expect("install user2");
     }
 
@@ -99,12 +99,12 @@ fn main() {
     // ── the mouse: events enter at the screen layer and propagate up.
     println!("injecting events…");
     let script = [
-        InputEvent::MouseMove(Point::new(50, 50)),    // → W1 → client
-        InputEvent::MouseMove(Point::new(250, 50)),   // → W2 → server
+        InputEvent::MouseMove(Point::new(50, 50)),  // → W1 → client
+        InputEvent::MouseMove(Point::new(250, 50)), // → W2 → server
         InputEvent::MouseDown(Point::new(60, 60), MouseButton::Left), // → W1
-        InputEvent::MouseUp(Point::new(60, 60), MouseButton::Left),   // → W1
-        InputEvent::MouseMove(Point::new(260, 60)),   // → W2
-        InputEvent::MouseMove(Point::new(400, 300)),  // → nobody: queued
+        InputEvent::MouseUp(Point::new(60, 60), MouseButton::Left), // → W1
+        InputEvent::MouseMove(Point::new(260, 60)), // → W2
+        InputEvent::MouseMove(Point::new(400, 300)), // → nobody: queued
     ];
     for event in script {
         desktop.inject(event).expect("inject");
@@ -112,7 +112,10 @@ fn main() {
 
     let queued = desktop.take_unclaimed().expect("unclaimed");
     println!("\nuser1 (client) received : {}", user1_hits.lock().len());
-    println!("user2 (server) received : {}", user2_hits.load(Ordering::SeqCst));
+    println!(
+        "user2 (server) received : {}",
+        user2_hits.load(Ordering::SeqCst)
+    );
     println!("queued at the base layer: {}", queued.len());
 
     assert_eq!(user1_hits.lock().len(), 3);

@@ -42,7 +42,7 @@ impl ThirdsFilter {
 
     fn event(&self, value: u32) -> RpcResult<()> {
         let n = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
-        if n.is_multiple_of(3) {
+        if n % 3 == 0 {
             // Propagate the asynchrony (section 2): the filter does not
             // wait for the upper layer, wherever it lives.
             let _ = self.upper.post_async(&value)?;
@@ -78,8 +78,8 @@ impl Filter for FilterImpl {
             .server
             .upgrade()
             .ok_or_else(|| RpcError::status(StatusCode::AppError, "gone"))?;
-        let conn = current_conn()
-            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
+        let conn =
+            current_conn().ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
         self.filter.register(server.upcall_target(conn, proc)?);
         Ok(())
     }
@@ -126,7 +126,10 @@ fn remote_placement(endpoint: Endpoint, label: &str) {
     let total = proxy.sync().expect("sync");
     let elapsed = start.elapsed();
     // The upward path is asynchronous; drain it before reading the sum.
-    let expected: u64 = (0..EVENTS).filter(|i| (i + 1) % 3 == 0).map(u64::from).sum();
+    let expected: u64 = (0..EVENTS)
+        .filter(|i| (i + 1) % 3 == 0)
+        .map(u64::from)
+        .sum();
     for _ in 0..400 {
         if received.load(Ordering::SeqCst) == expected {
             break;

@@ -246,10 +246,12 @@ fn write_estimates(full_id: &str, mean_ns: f64, median_ns: f64) {
         // Sanitize: ids may contain characters awkward in paths.
         let part: String = part
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
-                c
-            } else {
-                '_'
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
             })
             .collect();
         dir.push(part);

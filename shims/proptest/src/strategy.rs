@@ -21,7 +21,11 @@ pub trait Strategy {
 
     /// Keep only values satisfying `pred`; gives up (panics, failing the
     /// test) if 1000 consecutive candidates are rejected.
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -98,7 +102,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return candidate;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
     }
 }
 
@@ -204,8 +211,9 @@ impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 impl Strategy for &'static str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
-        let (lo, hi) = parse_dot_repeat(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}; shim supports \".{{lo,hi}}\""));
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern {self:?}; shim supports \".{{lo,hi}}\"")
+        });
         let len = lo + rng.below((hi - lo + 1) as u64) as usize;
         (0..len)
             .map(|_| char::from(b' ' + (rng.below(95) as u8)))
@@ -271,7 +279,9 @@ mod tests {
 
     #[test]
     fn map_and_filter_compose() {
-        let s = (0u8..10).prop_map(|v| v * 2).prop_filter("even", |v| *v < 10);
+        let s = (0u8..10)
+            .prop_map(|v| v * 2)
+            .prop_filter("even", |v| *v < 10);
         let mut r = rng();
         for _ in 0..100 {
             let v = s.generate(&mut r);

@@ -1,10 +1,12 @@
 //! Offline stand-in for the `rand` crate.
 //!
 //! Vendors the subset `clam-rs` uses: [`thread_rng`] with
-//! [`RngCore::next_u64`] (handle tags, nonces) and [`Rng::gen_range`]
-//! (WAN jitter). The generator is SplitMix64 seeded per thread from
-//! `RandomState` entropy — statistical quality is ample for tags and
-//! jitter; nothing here is cryptographic (neither was `rand`'s default).
+//! [`RngCore::next_u64`] (handle tags, nonces), [`Rng::gen_range`]
+//! (WAN jitter), and the seedable [`rngs::SmallRng`] (deterministic WAN
+//! jitter and fault-injection plans). The generator is SplitMix64 seeded
+//! per thread from `RandomState` entropy — statistical quality is ample
+//! for tags and jitter; nothing here is cryptographic (neither was
+//! `rand`'s default).
 
 use std::cell::Cell;
 use std::hash::{BuildHasher, Hasher};
@@ -141,6 +143,42 @@ pub fn thread_rng() -> ThreadRng {
     ThreadRng
 }
 
+/// A generator constructible from a caller-supplied seed: the same seed
+/// always yields the same stream (deterministic tests, reproducible
+/// fault plans).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Small, fast, seedable generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small seedable generator (SplitMix64). Deterministic: equal
+    /// seeds produce equal streams across runs and platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +202,19 @@ mod tests {
             let x: u128 = rng.gen_range(0..=7);
             assert!(x <= 7);
         }
+    }
+
+    #[test]
+    fn small_rng_is_deterministic_per_seed() {
+        use super::rngs::SmallRng;
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb, "same seed, same stream");
+        assert_ne!(sa, sc, "different seed, different stream");
     }
 
     #[test]

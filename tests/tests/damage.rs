@@ -57,9 +57,7 @@ fn input_events_publish_their_damage() {
     desktop.on_damage(proc).unwrap();
 
     // A sweep gesture rubber-bands the screen: every move damages.
-    desktop
-        .begin_sweep(1, clam_rpc::ProcId::NULL)
-        .unwrap();
+    desktop.begin_sweep(1, clam_rpc::ProcId::NULL).unwrap();
     for ev in clam_windows::input::sweep_script(Point::new(5, 5), Point::new(60, 50), 4) {
         desktop.inject(ev).unwrap();
     }

@@ -38,15 +38,15 @@ impl Recorder for RecorderImpl {
             .server
             .upgrade()
             .ok_or_else(|| RpcError::status(StatusCode::AppError, "gone"))?;
-        let conn = current_conn()
-            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
+        let conn =
+            current_conn().ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
         self.listeners.register(server.upcall_target(conn, proc)?);
         Ok(())
     }
 
     fn record(&self, value: u32) -> RpcResult<()> {
         self.log.lock().push(value);
-        if value.is_multiple_of(5) {
+        if value % 5 == 0 {
             // A *synchronous* upcall from inside a batched call: the
             // stress case for ordering.
             let _ = self.listeners.post(&value)?;
@@ -80,7 +80,10 @@ fn rig(tag: &str) -> (Arc<ClamServer>, Arc<ClamClient>, RecorderProxy) {
         }))),
     );
     let client = ClamClient::connect(&server.endpoints()[0]).unwrap();
-    let proxy = RecorderProxy::new(Arc::clone(client.caller()), Target::Builtin(RECORDER_SERVICE));
+    let proxy = RecorderProxy::new(
+        Arc::clone(client.caller()),
+        Target::Builtin(RECORDER_SERVICE),
+    );
     (server, client, proxy)
 }
 

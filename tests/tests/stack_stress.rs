@@ -51,9 +51,11 @@ fn upcall_handler_fault_is_contained_and_reported() {
     let w = desktop
         .create_window(Rect::new(0, 0, 50, 50), "w".into())
         .unwrap();
-    let p = client.register_upcall(move |_we: clam_windows::wm::WindowEvent| -> clam_rpc::RpcResult<u32> {
-        panic!("listener bug");
-    });
+    let p = client.register_upcall(
+        move |_we: clam_windows::wm::WindowEvent| -> clam_rpc::RpcResult<u32> {
+            panic!("listener bug");
+        },
+    );
     desktop.post_input(w, p).unwrap();
     // The upcall faults in the client; the error comes back to the
     // server-side delivery, which surfaces it to inject()'s caller.

@@ -34,8 +34,8 @@ impl Fan for FanImpl {
             .server
             .upgrade()
             .ok_or_else(|| RpcError::status(StatusCode::AppError, "gone"))?;
-        let conn = current_conn()
-            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
+        let conn =
+            current_conn().ok_or_else(|| RpcError::status(StatusCode::AppError, "no conn"))?;
         let mut handles = Vec::new();
         for i in 0..tasks {
             let target: UpcallTarget<u32, u32> = server.upcall_target(conn, proc)?;

@@ -113,7 +113,9 @@ fn resize_and_retitle_over_the_wire() {
     let server = server_with_both_versions("resize");
     let client = ClamClient::connect(&server.endpoints()[0]).unwrap();
     let d = desktop_at(&client, Version::new(1, 0));
-    let w = d.create_window(Rect::new(0, 0, 40, 40), "old".into()).unwrap();
+    let w = d
+        .create_window(Rect::new(0, 0, 40, 40), "old".into())
+        .unwrap();
     d.resize_window(w, 80, 60).unwrap();
     assert_eq!(d.window_frame(w).unwrap().size.width, 80);
     d.set_title(w, "new".into()).unwrap();
@@ -121,8 +123,12 @@ fn resize_and_retitle_over_the_wire() {
     // being intact.
     d.redraw().unwrap();
     assert_eq!(d.window_frame(w).unwrap().size.height, 60);
-    assert!(d.resize_window(clam_windows::WindowId { id: 99 }, 1, 1).is_err());
-    assert!(d.set_title(clam_windows::WindowId { id: 99 }, "x".into()).is_err());
+    assert!(d
+        .resize_window(clam_windows::WindowId { id: 99 }, 1, 1)
+        .is_err());
+    assert!(d
+        .set_title(clam_windows::WindowId { id: 99 }, "x".into())
+        .is_err());
 }
 
 #[test]
