@@ -16,6 +16,7 @@
 use crate::wire::{ChannelRole, Hello};
 use clam_load::LoaderProxy;
 use clam_net::{Endpoint, MsgWriter};
+use clam_obs::{EventKind, SpanId};
 use clam_rpc::{
     Caller, CallerConfig, Message, ProcId, Reply, RpcError, RpcResult, StatusCode, Target,
     UpcallMsg,
@@ -252,6 +253,18 @@ impl ClamClient {
     }
 
     fn run_upcall(procs: &ProcRegistry, up: &UpcallMsg) -> Reply {
+        // Adopt the trace context the server put on the wire: the
+        // handler (and any nested calls it makes) becomes a child of
+        // the server-side span that invoked the upcall.
+        let _scope = clam_obs::enter(up.trace);
+        if !up.trace.is_none() {
+            clam_obs::journal().record(
+                EventKind::UpcallEnter,
+                up.trace,
+                SpanId::NONE,
+                u32::try_from(up.proc_id).unwrap_or(u32::MAX),
+            );
+        }
         let outcome = match procs.get(ProcId { id: up.proc_id }) {
             Some(proc) => {
                 // Handler faults must not kill the upcall task: report
@@ -278,7 +291,7 @@ impl ClamClient {
                 format!("no procedure {} registered", up.proc_id),
             )),
         };
-        match outcome {
+        let reply = match outcome {
             Ok(results) => Reply {
                 request_id: up.request_id,
                 status: StatusCode::Ok,
@@ -297,7 +310,16 @@ impl ClamClient {
                     results: Opaque::new(),
                 }
             }
+        };
+        if !up.trace.is_none() {
+            clam_obs::journal().record(
+                EventKind::UpcallExit,
+                up.trace,
+                SpanId::NONE,
+                u32::from(reply.status != StatusCode::Ok),
+            );
         }
+        reply
     }
 
     /// The client's RPC caller (aim proxies through this).
@@ -425,6 +447,7 @@ mod tests {
                 proc_id: 99,
                 request_id: 1,
                 args: Opaque::new(),
+                ..UpcallMsg::default()
             },
         );
         assert_eq!(reply.status, StatusCode::NoSuchMethod);
@@ -440,6 +463,7 @@ mod tests {
                 proc_id: id.id,
                 request_id: 1,
                 args: Opaque::from(clam_xdr::encode(&()).unwrap()),
+                ..UpcallMsg::default()
             },
         );
         assert_eq!(reply.status, StatusCode::Fault);

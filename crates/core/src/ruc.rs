@@ -12,6 +12,7 @@
 //! router; invoking it performs the distributed upcall.
 
 use clam_net::{MsgReader, MsgWriter};
+use clam_obs::Counter;
 use clam_rpc::{
     DeadlineWatchdog, Message, ProcId, Reply, RpcError, RpcResult, StatusCode, UpcallMsg,
 };
@@ -20,8 +21,14 @@ use clam_xdr::{BufferPool, Opaque};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Distributed upcalls sent through any router (`core.upcall.remote`).
+fn obs_remote_upcalls() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("core.upcall.remote"))
+}
 
 struct UpcallWait {
     event: Event,
@@ -150,10 +157,24 @@ impl UpcallRouter {
         });
         self.pending.lock().insert(request_id, Arc::clone(&wait));
 
+        // The upcall is a child span of whatever server-side span is
+        // current (usually the client call that triggered it), so the
+        // client's handler stitches into the same trace tree. Journal
+        // the parent edge here: the wire carries only (trace, span).
+        let parent = clam_obs::current();
+        let ctx = parent.child(); // a child of NONE is a fresh root
+        obs_remote_upcalls().inc();
+        clam_obs::journal().record(
+            clam_obs::EventKind::UpcallSent,
+            ctx,
+            parent.span,
+            u32::try_from(proc_id.id).unwrap_or(u32::MAX),
+        );
         let msg = Message::Upcall(UpcallMsg {
             proc_id: proc_id.id,
             request_id,
             args,
+            trace: ctx,
         });
         let send_result = (|| -> RpcResult<()> {
             let frame = msg.to_frame_in(&self.pool)?;
@@ -198,10 +219,14 @@ impl UpcallRouter {
         if self.closed.load(Ordering::Acquire) {
             return Err(RpcError::Disconnected);
         }
+        obs_remote_upcalls().inc();
         let msg = Message::Upcall(UpcallMsg {
             proc_id: proc_id.id,
             request_id: 0,
             args,
+            // Async upcalls join the current trace without opening a
+            // span: nobody waits on them, so there is nothing to time.
+            trace: clam_obs::current(),
         });
         let frame = msg.to_frame_in(&self.pool)?;
         self.writer.lock().send(frame)?;

@@ -14,11 +14,25 @@
 //! compile time" through procedure-pointer declarations.
 
 use crate::ruc::RemoteUpcall;
+use clam_obs::{Counter, Histogram};
 use clam_rpc::{RpcError, RpcResult, StatusCode};
 use clam_xdr::{Bundle, Opaque};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Upcalls delivered to local (same-address-space) targets
+/// (`core.upcall.local`); the remote twin lives in [`crate::ruc`].
+fn obs_local_upcalls() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("core.upcall.local"))
+}
+
+/// Registrants notified per posted event (`core.upcall.fanout`).
+fn obs_fanout() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| clam_obs::histogram("core.upcall.fanout"))
+}
 
 /// A registered upward procedure with typed arguments and result.
 ///
@@ -99,7 +113,10 @@ where
     /// and bundling errors.
     pub fn invoke(&self, args: A) -> RpcResult<R> {
         match &self.kind {
-            TargetKind::Local(f) => f(args),
+            TargetKind::Local(f) => {
+                obs_local_upcalls().inc();
+                f(args)
+            }
             TargetKind::Remote { ruc, .. } => {
                 let bundled = Opaque::from(clam_xdr::encode(&args)?);
                 let results = ruc.invoke(bundled)?;
@@ -118,7 +135,10 @@ where
     /// Local procedure errors, or remote transport/bundling errors.
     pub fn invoke_async(&self, args: A) -> RpcResult<()> {
         match &self.kind {
-            TargetKind::Local(f) => f(args).map(|_| ()),
+            TargetKind::Local(f) => {
+                obs_local_upcalls().inc();
+                f(args).map(|_| ())
+            }
             TargetKind::Remote { ruc, .. } => {
                 let bundled = Opaque::from(clam_xdr::encode(&args)?);
                 ruc.invoke_async(bundled)
@@ -221,11 +241,32 @@ where
         if targets.is_empty() {
             return Ok(None);
         }
+        obs_fanout().observe(targets.len() as u64);
         let mut results = Vec::with_capacity(targets.len());
         for (_, target) in targets {
             results.push(target.invoke(args.clone())?);
         }
         Ok(Some(results))
+    }
+
+    /// Like [`post`](UpcallRegistry::post), but keeps walking past
+    /// failures: every registrant in the snapshot is invoked and each
+    /// outcome is returned alongside its registration id. One crashed or
+    /// disconnected remote registrant therefore cannot starve the others
+    /// of the event. Returns `None` if no one is registered.
+    #[must_use]
+    pub fn post_collect(&self, args: &A) -> Option<Vec<(u64, RpcResult<R>)>> {
+        let targets: Vec<_> = self.targets.lock().clone();
+        if targets.is_empty() {
+            return None;
+        }
+        obs_fanout().observe(targets.len() as u64);
+        Some(
+            targets
+                .into_iter()
+                .map(|(id, target)| (id, target.invoke(args.clone())))
+                .collect(),
+        )
     }
 
     /// Asynchronously upcall every registrant — "propagate the
@@ -242,6 +283,7 @@ where
         if targets.is_empty() {
             return Ok(None);
         }
+        obs_fanout().observe(targets.len() as u64);
         let count = targets.len();
         for (_, target) in targets {
             target.invoke_async(args.clone())?;
@@ -329,6 +371,85 @@ mod tests {
             Err(RpcError::status(StatusCode::AppError, "refused"))
         }));
         assert!(reg.post(&1).is_err());
+    }
+
+    #[test]
+    fn deregistering_during_a_post_respects_the_snapshot() {
+        // `post` snapshots the target list before invoking anyone, so a
+        // registrant that deregisters a peer mid-walk still lets that
+        // peer see the *current* event; only later posts skip it.
+        use std::sync::atomic::AtomicU64;
+        let reg: Arc<UpcallRegistry<(), ()>> = Arc::new(UpcallRegistry::new());
+        let b_id = Arc::new(AtomicU64::new(0));
+        let b_hits = Arc::new(AtomicU32::new(0));
+        let reg_in = Arc::clone(&reg);
+        let b_id_in = Arc::clone(&b_id);
+        reg.register(UpcallTarget::local(move |()| {
+            reg_in.deregister(b_id_in.load(Ordering::SeqCst));
+            Ok(())
+        }));
+        let hits = Arc::clone(&b_hits);
+        let id = reg.register(UpcallTarget::local(move |()| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }));
+        b_id.store(id, Ordering::SeqCst);
+
+        assert_eq!(reg.post(&()).unwrap().unwrap().len(), 2);
+        assert_eq!(b_hits.load(Ordering::SeqCst), 1, "snapshot still delivered");
+        assert_eq!(reg.len(), 1, "deregistration took effect for later posts");
+        assert_eq!(reg.post_collect(&()).unwrap().len(), 1);
+        assert_eq!(b_hits.load(Ordering::SeqCst), 1, "later posts skip it");
+    }
+
+    #[test]
+    fn post_collect_reports_every_outcome_despite_a_dead_remote() {
+        use crate::ruc::{RemoteUpcall, UpcallRouter};
+        use clam_rpc::ProcId;
+        use clam_task::Scheduler;
+
+        // A remote registrant whose connection is already torn down:
+        // invoking it yields `Disconnected` without touching the wire.
+        let (server_ch, _client_ch) = clam_net::pair();
+        let sched = Scheduler::new("post-collect");
+        let (writer, _reader) = server_ch.split();
+        let router = UpcallRouter::new(&sched, writer, 1, None);
+        router.fail_all();
+        let dead = UpcallTarget::remote(RemoteUpcall::new(router, ProcId { id: 7 }));
+
+        let reg: UpcallRegistry<u32, u32> = UpcallRegistry::new();
+        let first = reg.register(UpcallTarget::local(|x| Ok(x + 1)));
+        let middle = reg.register(dead);
+        let last = reg.register(UpcallTarget::local(|x| Ok(x * 2)));
+
+        // `post` aborts at the dead registrant…
+        assert!(matches!(reg.post(&10), Err(RpcError::Disconnected)));
+
+        // …while `post_collect` aggregates: both live registrants ran
+        // and the failure is attributed to the dead one's id.
+        let outcomes = reg.post_collect(&10).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].0, first);
+        assert_eq!(outcomes[0].1.as_ref().unwrap(), &11);
+        assert_eq!(outcomes[1].0, middle);
+        assert!(matches!(outcomes[1].1, Err(RpcError::Disconnected)));
+        assert_eq!(outcomes[2].0, last);
+        assert_eq!(outcomes[2].1.as_ref().unwrap(), &20);
+    }
+
+    #[test]
+    fn local_upcalls_and_fanout_feed_the_metrics() {
+        let local_before = clam_obs::counter("core.upcall.local").get();
+        let reg: UpcallRegistry<u32, u32> = UpcallRegistry::new();
+        reg.register(UpcallTarget::local(|x| Ok(x + 1)));
+        reg.register(UpcallTarget::local(|x| Ok(x + 2)));
+        reg.post(&1).unwrap();
+        reg.post_async(&1).unwrap();
+        // Lower bound: sibling tests in this process also post upcalls.
+        assert!(clam_obs::counter("core.upcall.local").get() >= local_before + 4);
+        let snap = clam_obs::snapshot();
+        let fanout = snap.histogram("core.upcall.fanout").unwrap();
+        assert!(fanout.count >= 2);
     }
 
     #[test]

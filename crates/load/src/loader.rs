@@ -3,12 +3,26 @@
 
 use crate::module::{Constructor, Module};
 use crate::version::Version;
+use clam_obs::Counter;
 use clam_rpc::{Handle, RpcError, RpcResult, RpcServer, StatusCode};
 use clam_xdr::Opaque;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Module loads that actually ran a load hook (`load.modules_loaded`);
+/// idempotent re-loads are not counted.
+fn obs_modules_loaded() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("load.modules_loaded"))
+}
+
+/// Objects constructed from loaded classes (`load.objects_created`).
+fn obs_objects_created() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("load.objects_created"))
+}
 
 /// A class made live by a load: where it came from and how to construct
 /// instances.
@@ -163,6 +177,7 @@ impl DynamicLoader {
             (name.to_string(), version),
             created.iter().map(|c| c.class_id).collect(),
         );
+        obs_modules_loaded().inc();
         Ok(created)
     }
 
@@ -212,6 +227,7 @@ impl DynamicLoader {
                 )
             })?;
         let object = (class.constructor)(server, args)?;
+        obs_objects_created().inc();
         Ok(server.register_object(class_id, class.version.as_u32(), object))
     }
 

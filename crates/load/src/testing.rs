@@ -142,6 +142,7 @@ mod tests {
                     target,
                     method,
                     args,
+                    ..clam_rpc::Call::default()
                 },
             )
             .unwrap();
@@ -263,6 +264,7 @@ mod tests {
                     target: Target::Object(h),
                     method: 1,
                     args: Opaque::new(),
+                    ..clam_rpc::Call::default()
                 },
             )
             .unwrap();
@@ -286,6 +288,7 @@ mod tests {
                     target: Target::Object(h),
                     method: 1, // explode
                     args: Opaque::new(),
+                    ..clam_rpc::Call::default()
                 },
             )
             .unwrap();
@@ -331,6 +334,7 @@ mod tests {
                     target: Target::Builtin(LOADER_SERVICE_ID),
                     method: 6, // list_classes
                     args: Opaque::from(clam_xdr::encode(&()).unwrap()),
+                    ..clam_rpc::Call::default()
                 },
             )
             .unwrap();

@@ -141,6 +141,173 @@ impl FaultPlan {
         self.disconnect_after = Some(n);
         self
     }
+
+    /// Replay, without any channel, the fates this plan deals to a frame
+    /// sequence with the given payload lengths.
+    ///
+    /// This is the *pure function* the module docs promise: the live
+    /// [`FaultyChannel`] and this replay share one draw routine
+    /// (`draw_fate`) and one scripted-transition state machine, so for
+    /// the same seed and the same frame sequence the returned fates are
+    /// exactly what a wrapped channel would do — which is how tests prove
+    /// the fault *metrics* correct rather than merely present. Payload
+    /// lengths matter because empty payloads skip the truncation draw.
+    #[must_use]
+    pub fn planned_fates(&self, payload_lens: &[usize]) -> Vec<FrameFate> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut partitioned = false;
+        let mut disconnected = false;
+        let mut offered = 0u64;
+        let mut out = Vec::with_capacity(payload_lens.len());
+        for &len in payload_lens {
+            if disconnected {
+                out.push(FrameFate {
+                    disconnected: true,
+                    ..FrameFate::default()
+                });
+                continue;
+            }
+            offered += 1;
+            let n = offered;
+            if self.disconnect_after.is_some_and(|limit| n > limit) {
+                disconnected = true;
+                out.push(FrameFate {
+                    offered: true,
+                    disconnected: true,
+                    ..FrameFate::default()
+                });
+                continue;
+            }
+            if self.partition_after.is_some_and(|limit| n == limit + 1) {
+                partitioned = true;
+            }
+            if partitioned {
+                out.push(FrameFate {
+                    offered: true,
+                    dropped: true,
+                    partitioned: true,
+                    ..FrameFate::default()
+                });
+                continue;
+            }
+            let d = draw_fate(&mut rng, self, len);
+            out.push(FrameFate {
+                offered: true,
+                dropped: d.dropped,
+                delayed: d.hold.is_some(),
+                duplicated: d.duplicated,
+                truncated: d.keep.is_some(),
+                partitioned: false,
+                disconnected: false,
+            });
+        }
+        out
+    }
+
+    /// Fold [`FaultPlan::planned_fates`] into the counters a
+    /// [`FaultHandle`] would report after sending the same sequence.
+    #[must_use]
+    pub fn planned_stats(&self, payload_lens: &[usize]) -> FaultStats {
+        let mut stats = FaultStats::default();
+        for fate in self.planned_fates(payload_lens) {
+            if fate.offered {
+                stats.offered += 1;
+            }
+            stats.delivered += fate.delivered_copies();
+            stats.dropped += u64::from(fate.dropped);
+            stats.delayed += u64::from(fate.delayed);
+            stats.duplicated += u64::from(fate.duplicated);
+            stats.truncated += u64::from(fate.truncated);
+        }
+        stats
+    }
+}
+
+/// The fate one offered frame receives under a [`FaultPlan`], as
+/// replayed by [`FaultPlan::planned_fates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameFate {
+    /// The frame reached the fault layer (counted in
+    /// [`FaultStats::offered`]). False only once a disconnect has already
+    /// closed the writer.
+    pub offered: bool,
+    /// Silently discarded — by the random drop draw or by a partition.
+    pub dropped: bool,
+    /// Held back before delivery.
+    pub delayed: bool,
+    /// Delivered twice.
+    pub duplicated: bool,
+    /// Delivered with a truncated payload.
+    pub truncated: bool,
+    /// The discard came from a partition black-hole (subset of
+    /// `dropped`).
+    pub partitioned: bool,
+    /// The send failed with `Closed` (scripted or sticky disconnect).
+    pub disconnected: bool,
+}
+
+impl FrameFate {
+    /// Copies of this frame the inner transport carries (0, 1, or 2).
+    #[must_use]
+    pub fn delivered_copies(&self) -> u64 {
+        if self.dropped || self.disconnected {
+            0
+        } else if self.duplicated {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// One frame's randomized fate. Draws happen in a fixed order — the four
+/// per-fault chances, then the delay hold, then the truncation keep —
+/// and conditional draws are skipped exactly as the send path skips
+/// them, so the RNG stream stays a pure function of (seed, frame
+/// sequence, payload emptiness).
+struct DrawnFate {
+    dropped: bool,
+    hold: Option<Duration>,
+    duplicated: bool,
+    keep: Option<usize>,
+}
+
+fn chance(rng: &mut SmallRng, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    // 53-bit uniform draw in [0, 1).
+    let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    draw < p
+}
+
+fn draw_fate(rng: &mut SmallRng, plan: &FaultPlan, payload_len: usize) -> DrawnFate {
+    let dropped = chance(rng, plan.drop);
+    let delayed = chance(rng, plan.delay);
+    let duplicated = chance(rng, plan.duplicate);
+    let truncated = chance(rng, plan.truncate);
+    let hold = if !dropped && delayed && !plan.max_delay.is_zero() {
+        #[allow(clippy::cast_possible_truncation)]
+        let micros = rng.gen_range(0..=plan.max_delay.as_micros()) as u64;
+        Some(Duration::from_micros(micros))
+    } else {
+        None
+    };
+    let keep = if !dropped && truncated && payload_len > 0 {
+        #[allow(clippy::cast_possible_truncation)]
+        Some(rng.gen_range(0..payload_len as u64) as usize)
+    } else {
+        None
+    };
+    DrawnFate {
+        dropped,
+        hold,
+        duplicated: duplicated && !dropped,
+        keep,
+    }
 }
 
 #[derive(Debug, Default)]
@@ -222,28 +389,64 @@ impl FaultHandle {
     }
 }
 
+/// Journal codes carried by `FaultInjected` events, one per fault kind
+/// (mirrored by the `net.fault.*` counters).
+pub const FAULT_CODE_DROP: u32 = 1;
+/// Journal code for an injected delay.
+pub const FAULT_CODE_DELAY: u32 = 2;
+/// Journal code for an injected duplicate.
+pub const FAULT_CODE_DUPLICATE: u32 = 3;
+/// Journal code for an injected truncation.
+pub const FAULT_CODE_TRUNCATE: u32 = 4;
+/// Journal code for a partition black-hole discard.
+pub const FAULT_CODE_PARTITION: u32 = 5;
+/// Journal code for a (scripted or forced) disconnect.
+pub const FAULT_CODE_DISCONNECT: u32 = 6;
+
+fn journal_fault(code: u32) {
+    clam_obs::journal().record(
+        clam_obs::EventKind::FaultInjected,
+        clam_obs::current(),
+        clam_obs::SpanId::NONE,
+        code,
+    );
+}
+
+/// Process-global `net.fault.*` counter handles, resolved once per
+/// wrapped writer so the injection path stays a relaxed atomic add.
+struct FaultObs {
+    drop: Arc<clam_obs::Counter>,
+    delay: Arc<clam_obs::Counter>,
+    duplicate: Arc<clam_obs::Counter>,
+    truncate: Arc<clam_obs::Counter>,
+    partition: Arc<clam_obs::Counter>,
+    disconnect: Arc<clam_obs::Counter>,
+}
+
+impl FaultObs {
+    fn new() -> FaultObs {
+        FaultObs {
+            drop: clam_obs::counter("net.fault.drop"),
+            delay: clam_obs::counter("net.fault.delay"),
+            duplicate: clam_obs::counter("net.fault.duplicate"),
+            truncate: clam_obs::counter("net.fault.truncate"),
+            partition: clam_obs::counter("net.fault.partition"),
+            disconnect: clam_obs::counter("net.fault.disconnect"),
+        }
+    }
+}
+
 struct FaultyWriter {
     inner: Option<Box<dyn MsgWriter>>,
     plan: FaultPlan,
     rng: SmallRng,
     state: Arc<FaultState>,
+    obs: FaultObs,
     /// For recycling the buffers of dropped frames, like a real send.
     pool: Option<BufferPool>,
 }
 
 impl FaultyWriter {
-    fn chance(&mut self, p: f64) -> bool {
-        if p <= 0.0 {
-            return false;
-        }
-        if p >= 1.0 {
-            return true;
-        }
-        // 53-bit uniform draw in [0, 1).
-        let draw = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        draw < p
-    }
-
     fn discard(&self, frame: Frame) {
         self.state.dropped.fetch_add(1, Ordering::Relaxed);
         if let Some(pool) = &self.pool {
@@ -262,6 +465,8 @@ impl MsgWriter for FaultyWriter {
         if self.plan.disconnect_after.is_some_and(|limit| n > limit) {
             self.state.disconnected.store(true, Ordering::Release);
             self.inner = None;
+            self.obs.disconnect.inc();
+            journal_fault(FAULT_CODE_DISCONNECT);
             return Err(NetError::Closed);
         }
         // Trigger exactly on crossing the threshold: the partition flag is
@@ -275,37 +480,42 @@ impl MsgWriter for FaultyWriter {
         }
         if self.state.partitioned.load(Ordering::Acquire) {
             self.discard(frame);
+            self.obs.partition.inc();
+            journal_fault(FAULT_CODE_PARTITION);
             return Ok(()); // black hole: the sender never learns
         }
 
-        // Independent draws in fixed order keep the sequence a pure
-        // function of (seed, frame index).
-        let dropped = self.chance(self.plan.drop);
-        let delayed = self.chance(self.plan.delay);
-        let duplicated = self.chance(self.plan.duplicate);
-        let truncated = self.chance(self.plan.truncate);
+        // The randomized fate comes from the same routine
+        // `FaultPlan::planned_fates` replays, so live counters and the
+        // pure replay can never disagree.
+        let fate = draw_fate(&mut self.rng, &self.plan, frame.payload().len());
 
-        if dropped {
+        if fate.dropped {
             self.discard(frame);
+            self.obs.drop.inc();
+            journal_fault(FAULT_CODE_DROP);
             return Ok(());
         }
-        if delayed && !self.plan.max_delay.is_zero() {
+        if let Some(hold) = fate.hold {
             self.state.delayed.fetch_add(1, Ordering::Relaxed);
-            let hold = self.rng.gen_range(0..=self.plan.max_delay.as_micros());
-            std::thread::sleep(Duration::from_micros(hold as u64));
+            self.obs.delay.inc();
+            journal_fault(FAULT_CODE_DELAY);
+            std::thread::sleep(hold);
         }
-        let inner = self.inner.as_mut().ok_or(NetError::Closed)?;
-        let frame = if truncated && !frame.payload().is_empty() {
+        let frame = if let Some(keep) = fate.keep {
             self.state.truncated.fetch_add(1, Ordering::Relaxed);
-            let payload = frame.payload();
-            let keep = self.rng.gen_range(0..payload.len() as u64) as usize;
-            encode_frame(&payload[..keep])?
+            self.obs.truncate.inc();
+            journal_fault(FAULT_CODE_TRUNCATE);
+            encode_frame(&frame.payload()[..keep])?
         } else {
             frame
         };
-        if duplicated {
+        let inner = self.inner.as_mut().ok_or(NetError::Closed)?;
+        if fate.duplicated {
             self.state.duplicated.fetch_add(1, Ordering::Relaxed);
             self.state.delivered.fetch_add(1, Ordering::Relaxed);
+            self.obs.duplicate.inc();
+            journal_fault(FAULT_CODE_DUPLICATE);
             inner.send(encode_frame(frame.payload())?)?;
         }
         self.state.delivered.fetch_add(1, Ordering::Relaxed);
@@ -356,6 +566,7 @@ impl FaultyChannel {
             rng: SmallRng::seed_from_u64(plan.seed),
             plan,
             state,
+            obs: FaultObs::new(),
             pool: None,
         });
         (writer, handle)
@@ -484,5 +695,77 @@ mod tests {
         let wan = WanConfig::default().with_seed(77);
         let plan = FaultPlan::seeded_from(&wan);
         assert_eq!(plan.seed, 77);
+    }
+
+    #[test]
+    fn planned_stats_replay_matches_a_live_channel_exactly() {
+        // A plan exercising every randomized fault kind at once. Payload
+        // lengths vary (including an empty one, which skips the
+        // truncation draw) to stress the RNG-stream bookkeeping.
+        let plan = FaultPlan::seeded(1234)
+            .drop_frames(0.3)
+            .delay_frames(0.2, Duration::from_micros(50))
+            .duplicate_frames(0.25)
+            .truncate_frames(0.4);
+        let payloads: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; usize::from(i) % 7 * 3]).collect();
+        let lens: Vec<usize> = payloads.iter().map(Vec::len).collect();
+
+        let (a, b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(a, plan);
+        for p in &payloads {
+            a.send(&p[..]).unwrap();
+        }
+        assert_eq!(
+            handle.stats(),
+            plan.planned_stats(&lens),
+            "the pure replay must predict the live counters exactly"
+        );
+        drop(b);
+    }
+
+    #[test]
+    fn planned_fates_script_partitions_and_disconnects() {
+        let plan = FaultPlan::seeded(9).partition_after(2);
+        let fates = plan.planned_fates(&[4, 4, 4, 4]);
+        assert!(fates[..2].iter().all(|f| f.delivered_copies() == 1));
+        assert!(fates[2..].iter().all(|f| f.partitioned && f.dropped));
+
+        let plan = FaultPlan::seeded(9).disconnect_after(1);
+        let fates = plan.planned_fates(&[4, 4, 4]);
+        assert_eq!(
+            fates[0],
+            FrameFate {
+                offered: true,
+                ..FrameFate::default()
+            }
+        );
+        assert!(fates[1].disconnected && fates[1].offered);
+        assert!(
+            fates[2].disconnected && !fates[2].offered,
+            "sticky: not offered"
+        );
+        assert_eq!(plan.planned_stats(&[4, 4, 4]).offered, 2);
+    }
+
+    #[test]
+    fn injected_faults_feed_the_global_fault_counters() {
+        let before = clam_obs::snapshot();
+        let (a, _b) = pair();
+        let (mut a, handle) = FaultyChannel::wrap(
+            a,
+            FaultPlan::seeded(7)
+                .duplicate_frames(1.0)
+                .partition_after(3),
+        );
+        for _ in 0..5 {
+            a.send(b"frame").unwrap();
+        }
+        // Lower bounds only: the counters are process-global and sibling
+        // tests inject faults concurrently. Exactness per channel is
+        // proven by the planned_stats replay test above.
+        let delta = clam_obs::snapshot().delta(&before);
+        assert!(delta.counter("net.fault.duplicate") >= 3);
+        assert!(delta.counter("net.fault.partition") >= 2);
+        assert_eq!(handle.stats().duplicated, 3);
     }
 }

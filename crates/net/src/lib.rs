@@ -50,7 +50,7 @@ mod wan;
 pub use channel::{pair, Channel, MsgReader, MsgWriter};
 pub use endpoint::Endpoint;
 pub use error::{NetError, NetResult};
-pub use fault::{FaultHandle, FaultPlan, FaultStats, FaultyChannel};
+pub use fault::{FaultHandle, FaultPlan, FaultStats, FaultyChannel, FrameFate};
 pub use frame::{
     encode_frame, read_frame, read_frame_into, write_frame, Frame, FrameEncoder, FRAME_PREFIX_LEN,
     MAX_FRAME_LEN,

@@ -1,0 +1,539 @@
+//! Lock-free metrics: counters, gauges, log2 histograms, and snapshots.
+//!
+//! Handles are `Arc`s resolved once from the process-global [`Registry`]
+//! (allocating, done at construction time) and then recorded through
+//! with single atomic RMWs (never allocating) — the discipline that
+//! keeps the instrumented batched-call wire path at zero allocations
+//! per call. [`MetricsSnapshot::delta`] subtracts an earlier snapshot so
+//! tests can assert exactly what one workload recorded in the face of a
+//! process-global registry.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets. Bucket `0` counts zero-valued samples;
+/// bucket `i >= 1` counts samples in `[2^(i-1), 2^i)`; the last bucket
+/// absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic signed gauge (a level, not a rate).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    pub fn adjust(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 histogram: 64 power-of-two buckets plus running
+/// count and sum. `observe` is three relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// Bucket index for a sample: 0 for 0, else bit length clamped to the
+/// last bucket.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the value reported for
+/// percentiles falling in that bucket).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snap(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile
+    /// (`0.0 ..= 1.0`); 0 when empty. Log2 buckets make this exact to
+    /// within a factor of two, which is what a tripwire needs.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let zero = vec![0u64; HISTOGRAM_BUCKETS];
+        let before = if earlier.buckets.len() == self.buckets.len() {
+            &earlier.buckets
+        } else {
+            &zero
+        };
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(before.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Normally accessed through the
+/// process-global [`registry`]; separate instances exist for tests.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind — instrumentation names are a static catalog (DESIGN.md §7)
+    /// and a kind clash is a programming error.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind clash, as for [`Registry::counter`].
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind clash, as for [`Registry::counter`].
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A consistent point-in-time copy of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            values: m
+                .iter()
+                .map(|(name, metric)| {
+                    let v = match metric {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snap()),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram copy.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time values of every metric, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge level, or 0 when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram copy, when present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `self − earlier`: what happened between two snapshots. Counters
+    /// and histograms subtract (saturating); gauges keep the later
+    /// level, since a level has no meaningful difference over time for
+    /// the assertions tests make. Metrics absent from `earlier` pass
+    /// through unchanged.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            values: self
+                .values
+                .iter()
+                .map(|(name, v)| {
+                    let dv = match (v, earlier.values.get(name)) {
+                        (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                            MetricValue::Counter(a.saturating_sub(*b))
+                        }
+                        (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                            MetricValue::Histogram(a.delta(b))
+                        }
+                        (other, _) => other.clone(),
+                    };
+                    (name.clone(), dv)
+                })
+                .collect(),
+        }
+    }
+
+    /// Render as one JSON object: counters and gauges as numbers,
+    /// histograms as `{"count":..,"sum":..,"p50":..,"p99":..}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:?}:", name);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "{g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}}}",
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.percentile(0.50),
+                        h.percentile(0.99)
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The process-global registry all instrumentation points use.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or create a counter in the global registry.
+#[must_use]
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Get or create a gauge in the global registry.
+#[must_use]
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Get or create a histogram in the global registry.
+#[must_use]
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// Snapshot the global registry.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let r = Registry::new();
+        let c = r.counter("test.count");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("test.level");
+        g.set(10);
+        g.adjust(-3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("test.count"), 5);
+        assert_eq!(snap.gauge("test.level"), 7);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn handles_alias_the_same_metric() {
+        let r = Registry::new();
+        r.counter("shared").inc();
+        r.counter("shared").inc();
+        assert_eq!(r.snapshot().counter("shared"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        let _c = r.counter("clash");
+        let _g = r.gauge("clash");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+        let r = Registry::new();
+        let h = r.histogram("test.hist");
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("test.hist").unwrap();
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, 1106);
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn percentiles_land_in_the_right_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("p");
+        for _ in 0..99 {
+            h.observe(10); // bucket [8, 16)
+        }
+        h.observe(1_000_000); // the outlier
+        let snap = r.snapshot();
+        let hs = snap.histogram("p").unwrap();
+        assert_eq!(hs.percentile(0.50), 15);
+        assert!(hs.percentile(0.995) >= 1_000_000);
+        assert_eq!(hs.percentile(0.0), 15); // rank clamps to the first sample
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let r = Registry::new();
+        let c = r.counter("d.count");
+        let h = r.histogram("d.hist");
+        c.add(10);
+        h.observe(5);
+        let before = r.snapshot();
+        c.add(7);
+        h.observe(50);
+        h.observe(50);
+        let after = r.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counter("d.count"), 7);
+        let dh = d.histogram("d.hist").unwrap();
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 100);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.gauge("b").set(-2);
+        r.histogram("c").observe(9);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\"b\":-2"));
+        assert!(json.contains("\"count\":1"));
+    }
+}

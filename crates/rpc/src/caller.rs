@@ -18,13 +18,14 @@ use crate::error::{RpcError, RpcResult, StatusCode};
 use crate::message::{BatchEncoder, Call, Message, Reply, Target};
 use crate::server::SYNC_SERVICE_ID;
 use clam_net::{MsgReader, MsgWriter};
+use clam_obs::EventKind;
 use clam_task::{Event, Scheduler};
 use clam_xdr::{BufferPool, Opaque};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 thread_local! {
     /// True while this thread is executing an upcall handler whose
@@ -134,6 +135,42 @@ impl CallOptions {
     }
 }
 
+/// Process-global `rpc.*` metric handles, resolved once per caller so the
+/// batched async path — which must stay allocation-free at steady state —
+/// pays only relaxed atomic adds. Sync-call latency histograms are keyed
+/// per stub target and resolved lazily (sync calls block anyway).
+struct CallerObs {
+    calls_async: Arc<clam_obs::Counter>,
+    flush_calls: Arc<clam_obs::Counter>,
+    flush_bytes: Arc<clam_obs::Counter>,
+    flush_sync: Arc<clam_obs::Counter>,
+    batch_calls: Arc<clam_obs::Histogram>,
+    retries: Arc<clam_obs::Counter>,
+    deadline_expired: Arc<clam_obs::Counter>,
+}
+
+impl CallerObs {
+    fn new() -> CallerObs {
+        CallerObs {
+            calls_async: clam_obs::counter("rpc.calls_async"),
+            flush_calls: clam_obs::counter("rpc.flush.calls"),
+            flush_bytes: clam_obs::counter("rpc.flush.bytes"),
+            flush_sync: clam_obs::counter("rpc.flush.sync"),
+            batch_calls: clam_obs::histogram("rpc.batch_calls"),
+            retries: clam_obs::counter("rpc.retries"),
+            deadline_expired: clam_obs::counter("rpc.deadline_expired"),
+        }
+    }
+}
+
+/// The per-stub latency histogram for sync calls on `target`.
+fn latency_histogram(target: Target) -> Arc<clam_obs::Histogram> {
+    match target {
+        Target::Builtin(id) => clam_obs::histogram(&format!("rpc.call_latency_us.builtin_{id}")),
+        Target::Object(_) => clam_obs::histogram("rpc.call_latency_us.object"),
+    }
+}
+
 struct ReplyWait {
     event: Event,
     slot: Mutex<Option<RpcResult<Opaque>>>,
@@ -167,6 +204,8 @@ pub struct Caller {
     pool: BufferPool,
     /// Enforces call deadlines from outside the event machinery.
     watchdog: DeadlineWatchdog,
+    /// Pre-resolved metric handles (see [`CallerObs`]).
+    obs: CallerObs,
 }
 
 impl std::fmt::Debug for Caller {
@@ -206,6 +245,7 @@ impl Caller {
             config,
             pool,
             watchdog: DeadlineWatchdog::new(),
+            obs: CallerObs::new(),
         })
     }
 
@@ -255,6 +295,7 @@ impl Caller {
                     if options.idempotent && attempt < options.max_retries =>
                 {
                     attempt += 1;
+                    self.obs.retries.inc();
                     self.backoff_sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }
@@ -282,6 +323,14 @@ impl Caller {
         if self.closed.load(Ordering::Acquire) {
             return Err(RpcError::Disconnected);
         }
+        // Open a child span for this call: the caller's current context
+        // (a new root if there is none) is the parent; the server
+        // dispatches under the child span, and any upcall the call
+        // triggers back into this process extends the same trace.
+        let parent = clam_obs::current();
+        let trace = parent.child();
+        clam_obs::journal().record(EventKind::CallStart, trace, parent.span, method);
+        let started = Instant::now();
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let wait = Arc::new(ReplyWait {
             event: Event::new(&self.sched),
@@ -296,19 +345,21 @@ impl Caller {
                 // Flush whatever the application batched first (its own
                 // ordinary frame), then send the nested call alone in a
                 // NestedCallBatch so only IT jumps the server's queue.
-                self.flush_locked(&mut out).and_then(|()| {
-                    out.calls_sent += 1;
-                    out.batches_sent += 1;
-                    let mut enc = BatchEncoder::begin_nested(self.pool.acquire());
-                    enc.push(Call {
-                        request_id,
-                        target,
-                        method,
-                        args,
-                    })?;
-                    out.writer.send(enc.finish()?)?;
-                    Ok(())
-                })
+                self.flush_locked(&mut out, &self.obs.flush_sync)
+                    .and_then(|()| {
+                        out.calls_sent += 1;
+                        out.batches_sent += 1;
+                        let mut enc = BatchEncoder::begin_nested(self.pool.acquire());
+                        enc.push(Call {
+                            request_id,
+                            target,
+                            method,
+                            args,
+                            trace,
+                        })?;
+                        out.writer.send(enc.finish()?)?;
+                        Ok(())
+                    })
             } else {
                 self.append_locked(
                     &mut out,
@@ -317,9 +368,10 @@ impl Caller {
                         target,
                         method,
                         args,
+                        trace,
                     },
                 )
-                .and_then(|()| self.flush_locked(&mut out))
+                .and_then(|()| self.flush_locked(&mut out, &self.obs.flush_sync))
             }
         };
         if let Err(e) = send_result {
@@ -333,11 +385,19 @@ impl Caller {
             // slot is taken and this is a no-op (the extra signal banks
             // on a dying event).
             let armed = Arc::clone(&wait);
+            let expired = Arc::clone(&self.obs.deadline_expired);
             self.watchdog.arm_after(limit, move || {
                 let mut slot = armed.slot.lock();
                 if slot.is_none() {
                     *slot = Some(Err(RpcError::DeadlineExceeded));
                     drop(slot);
+                    expired.inc();
+                    clam_obs::journal().record(
+                        EventKind::DeadlineFired,
+                        trace,
+                        parent.span,
+                        method,
+                    );
                     armed.event.signal();
                 }
             });
@@ -348,7 +408,16 @@ impl Caller {
         // On expiry the entry is still in the map (a late reply must not
         // find it); on a normal reply this remove is a no-op.
         self.pending.lock().remove(&request_id);
-        outcome.unwrap_or(Err(RpcError::Disconnected))
+        let outcome = outcome.unwrap_or(Err(RpcError::Disconnected));
+        #[allow(clippy::cast_possible_truncation)]
+        latency_histogram(target).observe(started.elapsed().as_micros() as u64);
+        clam_obs::journal().record(
+            EventKind::CallEnd,
+            trace,
+            parent.span,
+            u32::from(outcome.is_err()),
+        );
+        outcome
     }
 
     /// Asynchronous call: no reply expected; the call joins the current
@@ -362,7 +431,12 @@ impl Caller {
         if self.closed.load(Ordering::Acquire) {
             return Err(RpcError::Disconnected);
         }
+        self.obs.calls_async.inc();
         let mut out = self.out.lock();
+        // Async calls carry the caller's current context verbatim: no
+        // child span, no journal entry — this path must stay
+        // allocation-free at steady state, so it costs one atomic add
+        // and 24 trace bytes in the batch.
         self.append_locked(
             &mut out,
             Call {
@@ -370,17 +444,24 @@ impl Caller {
                 target,
                 method,
                 args,
+                trace: clam_obs::current(),
             },
         )?;
         // Adaptive flush: once the wire form crosses either threshold the
         // chunk streams out immediately, overlapping transport writes with
         // further call issue.
-        let full = out.batch.as_ref().is_some_and(|b| {
-            b.calls() as usize >= self.config.flush_at_calls
-                || b.payload_len() >= self.config.flush_at_bytes
+        let reason = out.batch.as_ref().and_then(|b| {
+            if b.calls() as usize >= self.config.flush_at_calls {
+                Some(&self.obs.flush_calls)
+            } else if b.payload_len() >= self.config.flush_at_bytes {
+                Some(&self.obs.flush_bytes)
+            } else {
+                None
+            }
         });
-        if full {
-            self.flush_locked(&mut out)?;
+        if let Some(reason) = reason {
+            let reason = Arc::clone(reason);
+            self.flush_locked(&mut out, &reason)?;
         }
         Ok(())
     }
@@ -391,7 +472,7 @@ impl Caller {
     ///
     /// Transport errors.
     pub fn flush(&self) -> RpcResult<()> {
-        self.flush_locked(&mut self.out.lock())
+        self.flush_locked(&mut self.out.lock(), &self.obs.flush_sync)
     }
 
     /// Flush the current batch and wait — bounded by the configured
@@ -425,7 +506,10 @@ impl Caller {
         Ok(())
     }
 
-    fn flush_locked(&self, out: &mut Outbound) -> RpcResult<()> {
+    /// `reason` is the `rpc.flush.*` counter naming why this flush fired
+    /// (batch full by calls, by bytes, or a synchronization point); it is
+    /// bumped only when a non-empty batch actually goes out.
+    fn flush_locked(&self, out: &mut Outbound, reason: &clam_obs::Counter) -> RpcResult<()> {
         let Some(batch) = out.batch.take() else {
             return Ok(());
         };
@@ -435,6 +519,8 @@ impl Caller {
         }
         out.calls_sent += u64::from(batch.calls());
         out.batches_sent += 1;
+        self.obs.batch_calls.observe(u64::from(batch.calls()));
+        reason.inc();
         out.writer.send(batch.finish()?)?;
         Ok(())
     }

@@ -13,7 +13,15 @@ use crate::server::ConnId;
 use rand::RngCore;
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Live objects across every table in the process
+/// (`rpc.object_table_size`). Tables adjust it on register/unregister and
+/// give back their remaining entries on drop.
+fn obs_table_size() -> &'static clam_obs::Gauge {
+    static GAUGE: OnceLock<Arc<clam_obs::Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| clam_obs::gauge("rpc.object_table_size"))
+}
 
 clam_xdr::bundle_struct! {
     /// A capability for a server object: identifier plus validity tag.
@@ -179,6 +187,7 @@ impl ObjectTable {
                 owner,
             },
         );
+        obs_table_size().adjust(1);
         Handle { object_id, tag }
     }
 
@@ -249,7 +258,13 @@ impl ObjectTable {
     /// Returns the entry if the handle was valid.
     pub fn unregister(&mut self, handle: Handle) -> Option<ObjectEntry> {
         match self.entries.get(&handle.object_id) {
-            Some(e) if e.tag == handle.tag => self.entries.remove(&handle.object_id),
+            Some(e) if e.tag == handle.tag => {
+                let removed = self.entries.remove(&handle.object_id);
+                if removed.is_some() {
+                    obs_table_size().adjust(-1);
+                }
+                removed
+            }
             _ => None,
         }
     }
@@ -264,6 +279,15 @@ impl ObjectTable {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+impl Drop for ObjectTable {
+    fn drop(&mut self) {
+        // Return this table's remaining entries so the process-wide
+        // gauge does not drift when a server is torn down.
+        #[allow(clippy::cast_possible_wrap)]
+        obs_table_size().adjust(-(self.entries.len() as i64));
     }
 }
 

@@ -8,7 +8,19 @@
 use crate::error::StatusCode;
 use crate::handle::Handle;
 use clam_net::{Frame, FrameEncoder, MAX_FRAME_LEN};
+use clam_obs::TraceContext;
 use clam_xdr::{BufferPool, Bundle, Opaque, XdrError, XdrResult, XdrStream};
+
+/// Protocol wire version, packed into the high bits of every frame's
+/// leading kind word (`(WIRE_VERSION << 8) | kind`). Version 2 added
+/// causal trace propagation: calls and upcalls carry a
+/// [`TraceContext`], so a frame from a version-1 peer — which lacks the
+/// trace field — is rejected up front instead of misparsed.
+pub const WIRE_VERSION: u32 = 2;
+
+const fn packed_kind(kind: u32) -> u32 {
+    (WIRE_VERSION << 8) | kind
+}
 
 /// What a call is aimed at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,6 +86,11 @@ clam_xdr::bundle_struct! {
         pub method: u32,
         /// Bundled argument bytes (produced by the client stub).
         pub args: Opaque,
+        /// Causal trace context: the trace this call belongs to and the
+        /// span opened for it at the call origin, so the server — and any
+        /// upcall the call triggers back into the client — stitches into
+        /// one tree. [`TraceContext::NONE`] for untraced calls.
+        pub trace: TraceContext,
     }
 }
 
@@ -84,6 +101,7 @@ impl Default for Call {
             target: Target::Builtin(0),
             method: 0,
             args: Opaque::new(),
+            trace: TraceContext::NONE,
         }
     }
 }
@@ -113,6 +131,9 @@ clam_xdr::bundle_struct! {
         pub request_id: u64,
         /// Bundled argument bytes (produced by the server upcall stub).
         pub args: Opaque,
+        /// Causal trace context: the span the server opened for this
+        /// upcall, a child of the call span that triggered it.
+        pub trace: TraceContext,
     }
 }
 
@@ -144,8 +165,16 @@ const MSG_NESTED_CALL_BATCH: u32 = 5;
 impl Bundle for Message {
     fn bundle(stream: &mut XdrStream<'_>, slot: &mut Option<Self>) -> XdrResult<()> {
         if stream.is_decoding() {
-            let mut kind = 0u32;
-            stream.x_u32(&mut kind)?;
+            let mut word = 0u32;
+            stream.x_u32(&mut word)?;
+            let version = word >> 8;
+            if version != WIRE_VERSION {
+                return Err(XdrError::InvalidDiscriminant {
+                    type_name: "Message wire version",
+                    value: version,
+                });
+            }
+            let kind = word & 0xff;
             let msg = match kind {
                 MSG_CALL_BATCH => Message::CallBatch(Vec::<Call>::decode_from(stream)?),
                 MSG_NESTED_CALL_BATCH => {
@@ -165,14 +194,14 @@ impl Bundle for Message {
             Ok(())
         } else {
             let msg = slot.as_ref().ok_or(XdrError::MissingValue("Message"))?;
-            let mut kind = match msg {
+            let mut word = packed_kind(match msg {
                 Message::CallBatch(_) => MSG_CALL_BATCH,
                 Message::NestedCallBatch(_) => MSG_NESTED_CALL_BATCH,
                 Message::Reply(_) => MSG_REPLY,
                 Message::Upcall(_) => MSG_UPCALL,
                 Message::UpcallReply(_) => MSG_UPCALL_REPLY,
-            };
-            stream.x_u32(&mut kind)?;
+            });
+            stream.x_u32(&mut word)?;
             match msg {
                 Message::CallBatch(calls) | Message::NestedCallBatch(calls) => {
                     calls.encode_onto(stream)
@@ -190,7 +219,7 @@ impl Message {
     /// without decoding the whole message.
     #[must_use]
     pub fn frame_is_nested(frame: &[u8]) -> bool {
-        frame.len() >= 4 && frame[..4] == MSG_NESTED_CALL_BATCH.to_be_bytes()
+        frame.len() >= 4 && frame[..4] == packed_kind(MSG_NESTED_CALL_BATCH).to_be_bytes()
     }
 
     /// Encode to a frame payload.
@@ -274,7 +303,7 @@ impl BatchEncoder {
 
     fn begin_kind(buf: Vec<u8>, kind: u32) -> BatchEncoder {
         let mut enc = FrameEncoder::begin(buf);
-        enc.write(&kind.to_be_bytes());
+        enc.write(&packed_kind(kind).to_be_bytes());
         enc.write(&0u32.to_be_bytes()); // count, patched in finish()
         BatchEncoder {
             buf: enc.into_buf(),
@@ -355,6 +384,10 @@ mod tests {
             }),
             method: 4,
             args: Opaque::from(vec![1, 2, 3]),
+            trace: TraceContext {
+                trace: clam_obs::TraceId(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff),
+                span: clam_obs::SpanId(0xfedc_ba98),
+            },
         }
     }
 
@@ -399,6 +432,7 @@ mod tests {
             proc_id: 11,
             request_id: 3,
             args: Opaque::from(vec![9; 40]),
+            trace: TraceContext::new_root(),
         });
         let back = Message::from_frame(&msg.to_frame().unwrap()).unwrap();
         assert_eq!(back, msg);
@@ -415,8 +449,53 @@ mod tests {
 
     #[test]
     fn unknown_message_kind_is_rejected() {
-        let frame = clam_xdr::encode(&99u32).unwrap();
+        let frame = clam_xdr::encode(&packed_kind(99)).unwrap();
         assert!(Message::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn wrong_wire_version_is_rejected_up_front() {
+        // A version-1 frame led with the bare kind word; under the packed
+        // scheme its high bits read as version 0.
+        let v1_frame = clam_xdr::encode(&MSG_CALL_BATCH).unwrap();
+        let err = Message::from_frame(&v1_frame).unwrap_err();
+        assert!(matches!(
+            err,
+            XdrError::InvalidDiscriminant {
+                type_name: "Message wire version",
+                value: 0,
+            }
+        ));
+        // A future version is refused the same way, not misparsed.
+        let v3_frame = clam_xdr::encode(&((3u32 << 8) | MSG_CALL_BATCH)).unwrap();
+        assert!(Message::from_frame(&v3_frame).is_err());
+    }
+
+    #[test]
+    fn trace_context_rides_the_wire_on_calls_and_upcalls() {
+        let ctx = TraceContext::new_root();
+        let msg = Message::CallBatch(vec![Call {
+            trace: ctx,
+            ..Call::default()
+        }]);
+        let Message::CallBatch(back) = Message::from_frame(&msg.to_frame().unwrap()).unwrap()
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back[0].trace, ctx);
+
+        let child = ctx.child();
+        let msg = Message::Upcall(UpcallMsg {
+            proc_id: 4,
+            request_id: 9,
+            args: Opaque::new(),
+            trace: child,
+        });
+        let Message::Upcall(back) = Message::from_frame(&msg.to_frame().unwrap()).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back.trace, child);
+        assert_eq!(back.trace.trace, ctx.trace, "same trace, new span");
     }
 
     #[test]
@@ -467,6 +546,7 @@ mod tests {
                 proc_id: 1,
                 request_id: 2,
                 args: Opaque::from(vec![3]),
+                trace: TraceContext::NONE,
             }),
         ] {
             let pooled = msg.to_frame_in(&pool).unwrap();

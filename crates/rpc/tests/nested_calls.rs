@@ -46,6 +46,7 @@ fn nested_batches_round_trip_and_dispatch_like_plain_ones() {
         target: Target::Builtin(1),
         method: 2,
         args: Opaque::from(vec![1, 2]),
+        ..clam_rpc::Call::default()
     };
     let msg = Message::NestedCallBatch(vec![call.clone()]);
     let back = Message::from_frame(&msg.to_frame().unwrap()).unwrap();

@@ -1,5 +1,6 @@
 //! Property tests for the RPC wire protocol and the handle table.
 
+use clam_obs::{SpanId, TraceContext, TraceId};
 use clam_rpc::{Call, Handle, Message, ObjectTable, Reply, StatusCode, Target, UpcallMsg};
 use clam_xdr::Opaque;
 use proptest::prelude::*;
@@ -7,6 +8,13 @@ use std::sync::Arc;
 
 fn arb_handle() -> impl Strategy<Value = Handle> {
     (any::<u64>(), any::<u64>()).prop_map(|(object_id, tag)| Handle { object_id, tag })
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceContext> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(hi, lo, span)| TraceContext {
+        trace: TraceId((u128::from(hi) << 64) | u128::from(lo)),
+        span: SpanId(span),
+    })
 }
 
 fn arb_target() -> impl Strategy<Value = Target> {
@@ -21,14 +29,20 @@ fn arb_opaque() -> impl Strategy<Value = Opaque> {
 }
 
 fn arb_call() -> impl Strategy<Value = Call> {
-    (any::<u64>(), arb_target(), any::<u32>(), arb_opaque()).prop_map(
-        |(request_id, target, method, args)| Call {
+    (
+        any::<u64>(),
+        arb_target(),
+        any::<u32>(),
+        arb_opaque(),
+        arb_trace(),
+    )
+        .prop_map(|(request_id, target, method, args, trace)| Call {
             request_id,
             target,
             method,
             args,
-        },
-    )
+            trace,
+        })
 }
 
 fn arb_status() -> impl Strategy<Value = StatusCode> {
@@ -61,13 +75,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         proptest::collection::vec(arb_call(), 0..8).prop_map(Message::CallBatch),
         arb_reply().prop_map(Message::Reply),
-        (any::<u64>(), any::<u64>(), arb_opaque()).prop_map(|(proc_id, request_id, args)| {
-            Message::Upcall(UpcallMsg {
-                proc_id,
-                request_id,
-                args,
-            })
-        }),
+        (any::<u64>(), any::<u64>(), arb_opaque(), arb_trace()).prop_map(
+            |(proc_id, request_id, args, trace)| {
+                Message::Upcall(UpcallMsg {
+                    proc_id,
+                    request_id,
+                    args,
+                    trace,
+                })
+            }
+        ),
         arb_reply().prop_map(Message::UpcallReply),
     ]
 }

@@ -16,7 +16,7 @@ use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Unique id per scheduler instance, for the thread-local current-task
 /// marker.
@@ -26,6 +26,27 @@ thread_local! {
     /// (scheduler uid, task id) of the task currently carried by this
     /// thread, if any.
     static CURRENT: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
+}
+
+/// Global `task.context_switches` counter: every baton grant is one
+/// processor handover. Static so the locked switching paths (which do
+/// not carry `SchedInner`) can reach it without allocation.
+fn obs_switches() -> &'static clam_obs::Counter {
+    static C: OnceLock<std::sync::Arc<clam_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("task.context_switches"))
+}
+
+/// Global `task.ready_depth` gauge, adjusted by ±1 as tasks enter and
+/// leave ready queues (summed over all schedulers in the process).
+fn obs_ready_depth() -> &'static clam_obs::Gauge {
+    static G: OnceLock<std::sync::Arc<clam_obs::Gauge>> = OnceLock::new();
+    G.get_or_init(|| clam_obs::gauge("task.ready_depth"))
+}
+
+/// Global `task.tasks_spawned` counter.
+fn obs_spawned() -> &'static clam_obs::Counter {
+    static C: OnceLock<std::sync::Arc<clam_obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("task.tasks_spawned"))
 }
 
 /// The per-task baton: a worker thread parks here until the scheduler
@@ -97,6 +118,7 @@ pub struct SchedInner {
     tasks_spawned: AtomicU64,
     threads_created: AtomicU64,
     workers_reused: AtomicU64,
+    context_switches: AtomicU64,
 }
 
 impl std::fmt::Debug for SchedInner {
@@ -122,6 +144,11 @@ pub struct SchedulerStats {
     pub workers_reused: u64,
     /// Tasks alive (ready, running, or blocked) right now.
     pub live_tasks: usize,
+    /// Baton grants so far — each is one non-preemptive processor
+    /// handover (dispatch after spawn, yield, unblock, or task exit).
+    pub context_switches: u64,
+    /// Tasks sitting in the ready queue right now.
+    pub ready_depth: usize,
 }
 
 /// A non-preemptive task scheduler (the paper's thread class).
@@ -152,6 +179,7 @@ impl Scheduler {
                 tasks_spawned: AtomicU64::new(0),
                 threads_created: AtomicU64::new(0),
                 workers_reused: AtomicU64::new(0),
+                context_switches: AtomicU64::new(0),
             }),
         }
     }
@@ -206,8 +234,10 @@ impl Scheduler {
                 },
             );
             st.ready.push_back(id);
+            obs_ready_depth().adjust(1);
         }
         inner.tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        obs_spawned().inc();
 
         let packet = WorkPacket {
             id,
@@ -218,7 +248,7 @@ impl Scheduler {
 
         // If the scheduler was idle, hand the baton over immediately.
         let mut st = inner.state.lock();
-        Self::try_dispatch_locked(&mut st);
+        Self::try_dispatch_locked(inner, &mut st);
         drop(st);
 
         Ok(JoinHandle {
@@ -244,6 +274,7 @@ impl Scheduler {
             None => return,
         };
         st.ready.push_back(me);
+        obs_ready_depth().adjust(1);
         Self::switch_away_locked(inner, st);
         my_baton.await_grant();
     }
@@ -268,11 +299,17 @@ impl Scheduler {
     #[must_use]
     pub fn stats(&self) -> SchedulerStats {
         let inner = &self.inner;
+        let (live_tasks, ready_depth) = {
+            let st = inner.state.lock();
+            (st.tasks.len(), st.ready.len())
+        };
         SchedulerStats {
             tasks_spawned: inner.tasks_spawned.load(Ordering::Relaxed),
             threads_created: inner.threads_created.load(Ordering::Relaxed),
             workers_reused: inner.workers_reused.load(Ordering::Relaxed),
-            live_tasks: self.live_tasks(),
+            live_tasks,
+            context_switches: inner.context_switches.load(Ordering::Relaxed),
+            ready_depth,
         }
     }
 
@@ -367,6 +404,9 @@ impl Scheduler {
     /// processor. Consumes the state guard.
     fn switch_away_locked(inner: &SchedInner, mut st: MutexGuard<'_, SchedState>) {
         if let Some(next) = st.ready.pop_front() {
+            obs_ready_depth().adjust(-1);
+            inner.context_switches.fetch_add(1, Ordering::Relaxed);
+            obs_switches().inc();
             st.current = Some(next);
             let baton = {
                 let e = st
@@ -386,9 +426,12 @@ impl Scheduler {
     }
 
     /// If nothing is running, start the next ready task.
-    fn try_dispatch_locked(st: &mut SchedState) {
+    fn try_dispatch_locked(inner: &SchedInner, st: &mut SchedState) {
         if st.current.is_none() {
             if let Some(next) = st.ready.pop_front() {
+                obs_ready_depth().adjust(-1);
+                inner.context_switches.fetch_add(1, Ordering::Relaxed);
+                obs_switches().inc();
                 st.current = Some(next);
                 let e = st
                     .tasks
@@ -415,12 +458,13 @@ impl Scheduler {
     }
 
     /// Move a blocked task to the ready queue and dispatch if idle.
-    fn make_ready_locked(st: &mut SchedState, id: TaskId) {
+    fn make_ready_locked(inner: &SchedInner, st: &mut SchedState, id: TaskId) {
         if let Some(e) = st.tasks.get_mut(&id.0) {
             if e.state == TaskState::Blocked {
                 e.state = TaskState::Ready;
                 st.ready.push_back(id);
-                Self::try_dispatch_locked(st);
+                obs_ready_depth().adjust(1);
+                Self::try_dispatch_locked(inner, st);
             }
         }
     }
@@ -431,7 +475,7 @@ impl Scheduler {
         debug_assert_eq!(st.current, Some(me));
         // Wake tasks joined on us.
         for waiter in &entry.join_waiters {
-            Self::make_ready_locked(&mut st, *waiter);
+            Self::make_ready_locked(inner, &mut st, *waiter);
         }
         entry.completion.complete(outcome);
         Self::switch_away_locked(inner, st);
@@ -507,7 +551,7 @@ pub(crate) fn block_current_task<F: FnOnce() -> bool>(inner: &SchedInner, me: Ta
 pub(crate) fn wake_picked_task<F: FnOnce() -> Vec<TaskId>>(inner: &SchedInner, pick: F) {
     let mut st = inner.state.lock();
     for id in pick() {
-        Scheduler::make_ready_locked(&mut st, id);
+        Scheduler::make_ready_locked(inner, &mut st, id);
     }
 }
 

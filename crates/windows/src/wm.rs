@@ -20,7 +20,15 @@ use crate::geometry::{Point, Rect};
 use crate::screen::Screen;
 use crate::window::{Window, WindowId};
 use clam_core::{UpcallRegistry, UpcallTarget};
+use clam_obs::Counter;
 use clam_rpc::RpcResult;
+use std::sync::{Arc, OnceLock};
+
+/// Raw input events routed by any window manager (`wm.events_routed`).
+fn obs_events_routed() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| clam_obs::counter("wm.events_routed"))
+}
 
 clam_xdr::bundle_struct! {
     /// What an upcalled layer receives: the event plus which window (0 =
@@ -251,6 +259,7 @@ impl WindowManager {
     /// targets; deliver with [`RoutedEvent::deliver`] after releasing
     /// any lock around the manager.
     pub fn route_event(&mut self, event: InputEvent) -> RoutedEvent {
+        obs_events_routed().inc();
         let hit = match event {
             InputEvent::Key(_) => self.focus,
             _ => event.position().and_then(|p| self.window_at(p)),

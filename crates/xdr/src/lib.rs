@@ -41,6 +41,7 @@
 mod array;
 mod bundle;
 mod error;
+mod obs_bundle;
 mod opaque;
 mod pool;
 mod primitives;

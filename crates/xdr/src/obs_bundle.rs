@@ -1,0 +1,73 @@
+//! Bundling for `clam-obs` trace identities.
+//!
+//! The trace context rides in every RPC message header (ISSUE 3), so the
+//! lowest wire-path crate teaches the bundler about it: 16-byte trace id
+//! as two unsigned hypers, then the 8-byte span id. An all-zero context
+//! means "untraced" and costs nothing but the 24 header bytes.
+
+use crate::error::{XdrError, XdrResult};
+use crate::stream::XdrStream;
+use crate::Bundle;
+use clam_obs::{SpanId, TraceContext, TraceId};
+
+impl Bundle for TraceContext {
+    fn bundle(stream: &mut XdrStream<'_>, slot: &mut Option<Self>) -> XdrResult<()> {
+        if stream.is_decoding() {
+            let (mut hi, mut lo, mut span) = (0u64, 0u64, 0u64);
+            stream.x_u64(&mut hi)?;
+            stream.x_u64(&mut lo)?;
+            stream.x_u64(&mut span)?;
+            *slot = Some(TraceContext {
+                trace: TraceId(u128::from(hi) << 64 | u128::from(lo)),
+                span: SpanId(span),
+            });
+            Ok(())
+        } else {
+            let v = slot
+                .as_ref()
+                .ok_or(XdrError::MissingValue("TraceContext"))?;
+            let mut hi = (v.trace.0 >> 64) as u64;
+            let mut lo = v.trace.0 as u64;
+            let mut span = v.span.0;
+            stream.x_u64(&mut hi)?;
+            stream.x_u64(&mut lo)?;
+            stream.x_u64(&mut span)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_contexts_round_trip() {
+        for ctx in [
+            TraceContext::NONE,
+            TraceContext {
+                trace: TraceId(0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10),
+                span: SpanId(0xdead_beef_cafe_f00d),
+            },
+            TraceContext::new_root(),
+        ] {
+            let bytes = crate::encode(&ctx).unwrap();
+            assert_eq!(bytes.len(), 24, "trace header is exactly 24 bytes");
+            assert_eq!(crate::decode::<TraceContext>(&bytes).unwrap(), ctx);
+        }
+    }
+
+    #[test]
+    fn wire_layout_is_hi_lo_span_big_endian() {
+        let ctx = TraceContext {
+            trace: TraceId(1u128 << 64 | 2),
+            span: SpanId(3),
+        };
+        let bytes = crate::encode(&ctx).unwrap();
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&1u64.to_be_bytes());
+        expect.extend_from_slice(&2u64.to_be_bytes());
+        expect.extend_from_slice(&3u64.to_be_bytes());
+        assert_eq!(bytes, expect);
+    }
+}

@@ -9,8 +9,8 @@
 //!
 //! The pool lives in `clam-xdr` (the lowest crate on the wire path) so the
 //! encoder, the framing layer, and the transports can all share one type
-//! without a dependency cycle. It uses `std::sync::Mutex` directly to keep
-//! this crate dependency-free.
+//! without a dependency cycle. It uses `std::sync::Mutex` directly so this
+//! crate depends on nothing but `std` and `clam-obs`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -44,6 +44,12 @@ struct PoolInner {
     misses: AtomicU64,
     recycled: AtomicU64,
     dropped: AtomicU64,
+    // Process-global mirrors of the per-pool counters (`xdr.pool.*`),
+    // resolved once here so the acquire/recycle hot path stays a pair of
+    // relaxed atomic adds.
+    obs_hits: Arc<clam_obs::Counter>,
+    obs_misses: Arc<clam_obs::Counter>,
+    obs_recycled: Arc<clam_obs::Counter>,
 }
 
 /// A thread-safe pool of reusable `Vec<u8>` buffers.
@@ -70,6 +76,9 @@ impl BufferPool {
                 misses: AtomicU64::new(0),
                 recycled: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                obs_hits: clam_obs::counter("xdr.pool.hits"),
+                obs_misses: clam_obs::counter("xdr.pool.misses"),
+                obs_recycled: clam_obs::counter("xdr.pool.recycled"),
             }),
         }
     }
@@ -86,11 +95,13 @@ impl BufferPool {
         match popped {
             Some(buf) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.obs_hits.inc();
                 debug_assert!(buf.is_empty(), "pooled buffers are stored cleared");
                 buf
             }
             None => {
                 self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.obs_misses.inc();
                 Vec::new()
             }
         }
@@ -101,6 +112,7 @@ impl BufferPool {
     /// the buffer is dropped.
     pub fn recycle(&self, mut buf: Vec<u8>) {
         self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs_recycled.inc();
         buf.clear();
         if buf.capacity() > self.inner.trim_capacity {
             buf.shrink_to(self.inner.trim_capacity);

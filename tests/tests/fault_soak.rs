@@ -9,7 +9,7 @@
 //! `FAULT_SOAK_SEED`; on failure the seed, plan, and link statistics are
 //! written to `target/fault-soak/` so the run can be replayed exactly.
 
-use clam_net::{pair, FaultPlan, FaultyChannel};
+use clam_net::{pair, FaultPlan, FaultyChannel, FrameFate};
 use clam_rpc::{
     CallOptions, Caller, CallerConfig, ConnId, RpcError, RpcServer, Target, SYNC_SERVICE_ID,
 };
@@ -17,6 +17,8 @@ use clam_task::Scheduler;
 use clam_xdr::Opaque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+const EXACT_ROLE_ENV: &str = "CLAM_FAULT_EXACT_ROLE";
 
 /// The seed for this run: `FAULT_SOAK_SEED` from the environment (the CI
 /// matrix sets 1, 2, 3), defaulting to 1 for plain `cargo test`.
@@ -126,4 +128,97 @@ fn seeded_soak_idempotent_retry_survives_a_lossy_link() {
 
     drop(caller); // closes the write half; serve_channel returns
     srv.join().unwrap();
+}
+
+/// The seed-deterministic plan the exact-fates check drives: every
+/// randomized fault kind at once, plus a scripted disconnect near the
+/// end, over payloads of varying length (including empty ones, which
+/// skip the truncation draw).
+fn exact_plan(seed: u64) -> (FaultPlan, Vec<Vec<u8>>) {
+    let plan = FaultPlan::seeded(seed)
+        .drop_frames(0.25)
+        .delay_frames(0.2, Duration::from_micros(50))
+        .duplicate_frames(0.2)
+        .truncate_frames(0.3)
+        .disconnect_after(40);
+    let payloads = (0..48u8).map(|i| vec![i; usize::from(i) % 9 * 4]).collect();
+    (plan, payloads)
+}
+
+/// Child-process body for the exact-fates check: with no sibling tests
+/// injecting faults, the process-global `net.fault.*` counters must
+/// match the pure [`FaultPlan::planned_fates`] replay *exactly*.
+#[test]
+fn child_exact_fault_fates() {
+    if std::env::var(EXACT_ROLE_ENV).as_deref() != Ok("driver") {
+        return;
+    }
+    let seed = soak_seed();
+    let (plan, payloads) = exact_plan(seed);
+    let lens: Vec<usize> = payloads.iter().map(Vec::len).collect();
+    let fates = plan.planned_fates(&lens);
+
+    let names = [
+        "drop",
+        "delay",
+        "duplicate",
+        "truncate",
+        "partition",
+        "disconnect",
+    ];
+    let counter_of = |n: &str| clam_obs::counter(&format!("net.fault.{n}")).get();
+    let before: Vec<u64> = names.iter().map(|n| counter_of(n)).collect();
+
+    let (client, server) = pair();
+    let (mut client, handle) = FaultyChannel::wrap(client, plan);
+    for p in &payloads {
+        // Sends after the scripted disconnect fail; that IS the fate.
+        let _ = client.send(&p[..]);
+    }
+
+    assert_eq!(
+        handle.stats(),
+        plan.planned_stats(&lens),
+        "seed {seed}: per-channel stats diverge from the planned replay"
+    );
+
+    let planned = |f: fn(&FrameFate) -> bool| fates.iter().filter(|fate| f(fate)).count() as u64;
+    let expected = [
+        planned(|f| f.dropped && !f.partitioned),
+        planned(|f| f.delayed),
+        planned(|f| f.duplicated),
+        planned(|f| f.truncated),
+        planned(|f| f.partitioned),
+        planned(|f| f.disconnected && f.offered),
+    ];
+    for ((name, before), expected) in names.iter().zip(before).zip(expected) {
+        assert_eq!(
+            counter_of(name) - before,
+            expected,
+            "seed {seed}: net.fault.{name} diverges from the planned fates"
+        );
+    }
+    drop(server);
+}
+
+/// Drive [`child_exact_fault_fates`] in its own process, where this
+/// file's other tests cannot pollute the process-global fault counters.
+/// The child inherits `FAULT_SOAK_SEED`, so the CI matrix exercises the
+/// exactness check under every seed.
+#[test]
+fn fault_counters_match_planned_fates_exactly() {
+    if std::env::var(EXACT_ROLE_ENV).is_ok() {
+        return; // never recurse inside the child
+    }
+    let out = std::process::Command::new(std::env::current_exe().expect("own path"))
+        .args(["--exact", "child_exact_fault_fates", "--nocapture"])
+        .env(EXACT_ROLE_ENV, "driver")
+        .output()
+        .expect("spawn exact-fates process");
+    assert!(
+        out.status.success(),
+        "exact-fates child failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

@@ -102,6 +102,7 @@ fn client_death_unblocks_the_upcaller_and_stales_its_handles() {
         target: Target::Builtin(VICTIM_SERVICE_ID),
         method: 0,
         args: Opaque::new(),
+        ..Call::default()
     };
     rpc_ch
         .send(Message::CallBatch(vec![call]).to_frame().unwrap())

@@ -1,0 +1,227 @@
+//! Two-process trace stitching.
+//!
+//! A client in this process calls a server running in a *separate*
+//! process; the server's dispatch performs a distributed upcall back
+//! into the client. Each process dumps its event journal as JSON lines;
+//! joining the two dumps on span ids must yield ONE trace whose tree is
+//! the full causal chain:
+//!
+//! ```text
+//! call (client)  ── wire ──▶ dispatch (server)
+//!                               └─ upcall ── wire ──▶ handler (client)
+//! ```
+//!
+//! The child server process is this same test binary re-executed with
+//! `--exact child_server_process` and a role environment variable.
+
+use clam_core::{ClamClient, ClamServer, ServerConfig, UpcallTarget};
+use clam_net::Endpoint;
+use clam_obs::{Event, EventKind, SpanId};
+use clam_rpc::{current_conn, ProcId, RpcError, RpcResult, StatusCode, Target};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+clam_rpc::remote_interface! {
+    /// One method: synchronously upcall `proc` with `x`, return the
+    /// client procedure's result.
+    pub interface Stitch {
+        proxy StitchProxy;
+        skeleton StitchSkeleton;
+        class StitchClass;
+
+        /// Bounce `x` off the client procedure `proc`.
+        fn bounce(proc: ProcId, x: u32) -> u32 = 1;
+    }
+}
+
+const STITCH_SERVICE_ID: u32 = 77;
+const ROLE_ENV: &str = "CLAM_STITCH_ROLE";
+const DIR_ENV: &str = "CLAM_STITCH_DIR";
+
+struct StitchImpl {
+    server: Weak<ClamServer>,
+}
+
+impl Stitch for StitchImpl {
+    fn bounce(&self, proc: ProcId, x: u32) -> RpcResult<u32> {
+        let server = self
+            .server
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "server gone"))?;
+        let conn = current_conn()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "no connection"))?;
+        let target: UpcallTarget<u32, u32> = server.upcall_target(conn, proc)?;
+        target.invoke(x)
+    }
+}
+
+fn poll_until<T>(what: &str, timeout: Duration, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The server role, run in a child process. A no-op unless the driver
+/// test set the role environment variable.
+#[test]
+fn child_server_process() {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("server") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("stitch dir set"));
+
+    let server = ClamServer::builder()
+        .config(ServerConfig::default())
+        .listen(Endpoint::tcp("127.0.0.1:0"))
+        .build()
+        .expect("server starts");
+    let weak = Arc::downgrade(&server);
+    server.rpc().register_service(
+        STITCH_SERVICE_ID,
+        Arc::new(StitchSkeleton::new(Arc::new(StitchImpl { server: weak }))),
+    );
+    let Endpoint::Tcp(addr) = &server.endpoints()[0] else {
+        panic!("expected a tcp endpoint");
+    };
+    // Write-then-rename so the parent never reads a partial address.
+    std::fs::write(dir.join("addr.tmp"), addr).expect("write addr");
+    std::fs::rename(dir.join("addr.tmp"), dir.join("addr")).expect("publish addr");
+
+    poll_until("client to finish", Duration::from_secs(60), || {
+        dir.join("client_done").exists().then_some(())
+    });
+    clam_obs::journal()
+        .dump_to_path(dir.join("server.jsonl"))
+        .expect("dump server journal");
+}
+
+fn load_events(path: &Path) -> Vec<Event> {
+    std::fs::read_to_string(path)
+        .expect("journal file readable")
+        .lines()
+        .filter_map(Event::from_json_line)
+        .collect()
+}
+
+/// Kill the child on panic so a failing assertion doesn't leak it.
+struct ChildGuard(std::process::Child);
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn two_processes_stitch_into_one_trace() {
+    if std::env::var(ROLE_ENV).is_ok() {
+        return; // never recurse inside the child
+    }
+    let dir = std::env::temp_dir().join(format!("clam-stitch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create stitch dir");
+
+    let child = std::process::Command::new(std::env::current_exe().expect("own path"))
+        .args(["--exact", "child_server_process", "--nocapture"])
+        .env(ROLE_ENV, "server")
+        .env(DIR_ENV, &dir)
+        .spawn()
+        .expect("spawn server process");
+    let mut child = ChildGuard(child);
+
+    let addr = poll_until("server address", Duration::from_secs(60), || {
+        std::fs::read_to_string(dir.join("addr")).ok()
+    });
+    let client = ClamClient::connect(&Endpoint::tcp(addr)).expect("client connects");
+    let proc = client.register_upcall(|x: u32| Ok(x + 1));
+    let proxy = StitchProxy::new(
+        Arc::clone(client.caller()),
+        Target::Builtin(STITCH_SERVICE_ID),
+    );
+
+    assert_eq!(proxy.bounce(proc, 41).expect("bounce"), 42);
+
+    clam_obs::journal()
+        .dump_to_path(dir.join("client.jsonl"))
+        .expect("dump client journal");
+    std::fs::write(dir.join("client_done"), b"done").expect("signal client done");
+    let status = child.0.wait().expect("child exits");
+    assert!(status.success(), "server process failed: {status:?}");
+
+    // ---- stitch the two journals and verify the single tree ----
+    let client_events = load_events(&dir.join("client.jsonl"));
+    let server_events = load_events(&dir.join("server.jsonl"));
+
+    // The call span, from the client's own journal (method 1).
+    let call_start = client_events
+        .iter()
+        .find(|e| e.kind == EventKind::CallStart && e.code == 1)
+        .expect("client journaled the call start");
+    assert_eq!(call_start.parent, SpanId::NONE, "the call is the root");
+    let trace = call_start.trace;
+    let call_span = call_start.span;
+    assert!(
+        client_events
+            .iter()
+            .any(|e| e.kind == EventKind::CallEnd && e.span == call_span && e.code == 0),
+        "call completed successfully"
+    );
+
+    // The server dispatched under the SAME trace and span it received.
+    assert!(
+        server_events
+            .iter()
+            .any(|e| e.kind == EventKind::ServerDispatch
+                && e.trace == trace
+                && e.span == call_span),
+        "server dispatch joined the client's span"
+    );
+
+    // The server opened the upcall span as a child of the call span…
+    let sent = server_events
+        .iter()
+        .find(|e| e.kind == EventKind::UpcallSent && e.trace == trace)
+        .expect("server journaled the upcall send");
+    assert_eq!(sent.parent, call_span, "upcall hangs under the call");
+    let upcall_span = sent.span;
+    assert_ne!(upcall_span, call_span);
+
+    // …and the client's handler ran under exactly that span.
+    assert!(
+        client_events
+            .iter()
+            .any(|e| e.kind == EventKind::UpcallEnter && e.trace == trace && e.span == upcall_span),
+        "client handler entered the server's upcall span"
+    );
+    assert!(
+        client_events.iter().any(|e| e.kind == EventKind::UpcallExit
+            && e.trace == trace
+            && e.span == upcall_span
+            && e.code == 0),
+        "client handler exited cleanly"
+    );
+
+    // Every event of this trace, from both processes, fits one tree
+    // rooted at the call span: span → parent resolves within the set.
+    let merged: Vec<&Event> = client_events
+        .iter()
+        .chain(&server_events)
+        .filter(|e| e.trace == trace)
+        .collect();
+    assert!(merged.len() >= 5, "expected the full causal chain");
+    for ev in &merged {
+        assert!(
+            ev.span == call_span || ev.span == upcall_span,
+            "unexpected span {:?} in the stitched trace",
+            ev.span
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
