@@ -22,6 +22,7 @@ struct Options {
     calls: u32,
     async_calls: u32,
     upcalls: u32,
+    cluster_calls: u32,
     json: Option<String>,
     journal: Option<String>,
 }
@@ -31,6 +32,7 @@ fn parse_args() -> Result<Options, String> {
         calls: 64,
         async_calls: 32,
         upcalls: 8,
+        cluster_calls: 4,
         json: None,
         journal: None,
     };
@@ -44,12 +46,13 @@ fn parse_args() -> Result<Options, String> {
             "--calls" => opts.calls = num(&value("--calls")?)?,
             "--async-calls" => opts.async_calls = num(&value("--async-calls")?)?,
             "--upcalls" => opts.upcalls = num(&value("--upcalls")?)?,
+            "--cluster-calls" => opts.cluster_calls = num(&value("--cluster-calls")?)?,
             "--json" => opts.json = Some(value("--json")?),
             "--journal" => opts.journal = Some(value("--journal")?),
             "--help" | "-h" => {
                 println!(
                     "usage: clamstat [--calls N] [--async-calls N] [--upcalls N] \
-                     [--json PATH] [--journal PATH]"
+                     [--cluster-calls N] [--json PATH] [--journal PATH]"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +111,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if opts.cluster_calls > 0 {
+        if let Err(e) = run_cluster_leg(opts.cluster_calls) {
+            eprintln!("clamstat: cluster leg failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let delta = clam_obs::snapshot().delta(&before);
     let events = clam_obs::journal().events();
@@ -155,6 +164,49 @@ fn main() -> ExitCode {
         println!("report written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// The cluster leg of the workload: a two-node fabric where the client
+/// only knows the seed, so its first call to the far node's counter is
+/// forwarded between the servers (`cluster.forward_hops`) and the rest
+/// go direct once the placement cache fills
+/// (`cluster.placement_cache.{hit,miss}`). One event posted on the far
+/// node exercises the cross-node upcall relay
+/// (`cluster.events.{relayed,delivered}`).
+fn run_cluster_leg(calls: u32) -> Result<(), clam_rpc::RpcError> {
+    use clam_cluster::demo::{self, Counter, CounterProxy};
+    use clam_cluster::{ClusterClient, ClusterConfig, ClusterNode};
+
+    let pid = std::process::id();
+    let n1 = ClusterNode::start(ClusterConfig::new(
+        1,
+        Endpoint::in_proc(format!("clamstat-cluster-{pid}-1")),
+    ))
+    .map_err(clam_rpc::RpcError::from)?;
+    let n2 = ClusterNode::start(
+        ClusterConfig::new(2, Endpoint::in_proc(format!("clamstat-cluster-{pid}-2")))
+            .seed(n1.endpoint().clone()),
+    )
+    .map_err(clam_rpc::RpcError::from)?;
+    demo::install(&n1)?;
+    demo::install(&n2)?;
+
+    let client = ClusterClient::connect(n1.endpoint())?;
+    let name = demo::counter_name(2);
+    for _ in 0..calls {
+        let h = client.lookup(&name)?;
+        CounterProxy::new(client.caller_for(h), Target::Object(h)).incr(1)?;
+        // After the first (forwarded) success the client opens the
+        // direct connection; later rounds skip the fabric.
+        let _ = client.client_for_node(h.home);
+    }
+
+    client.subscribe("clamstat", |_, _| Ok(1))?;
+    client.post_via(n2.id(), "clamstat", "cluster leg")?;
+
+    n2.shutdown();
+    n1.shutdown();
+    Ok(())
 }
 
 /// One reconstructed node: what the journal knows about a span.

@@ -1,0 +1,337 @@
+//! The cluster-aware client: placement caching and direct routing.
+//!
+//! A [`ClusterClient`] starts with one connection (to any node, usually
+//! the seed) and learns placement as it goes:
+//!
+//! * **Name lookups** are cached. A [`StaleHandle`] on a later call
+//!   invalidates the entry and re-looks-up once.
+//! * **Calls** route by the handle's home node. With a direct
+//!   connection to the home, the call goes straight there; otherwise it
+//!   goes through an existing connection (whose node forwards it one
+//!   hop) and the client then resolves and connects to the home node so
+//!   the *next* call is direct — first call forwarded, second call
+//!   direct, observable in the `cluster.forward_hops` counter.
+//! * A **`WrongNode` redirect** (a node that cannot forward) carries
+//!   the home-node id; the client resolves it through the directory,
+//!   connects, and retries once.
+//!
+//! [`StaleHandle`]: clam_rpc::StatusCode::StaleHandle
+
+use crate::directory::{Directory, DirectoryProxy, Member, DIRECTORY_SERVICE_ID};
+use crate::events::{ClusterEvents, ClusterEventsProxy, EVENTS_SERVICE_ID};
+use crate::{obs_placement_hit, obs_placement_miss, obs_redirects};
+use clam_core::{ClamClient, ClientOptions, NameService, NameServiceProxy, NAME_SERVICE_ID};
+use clam_net::{Connector, DirectConnector, Endpoint};
+use clam_rpc::{CallerConfig, Handle, RpcError, RpcResult, StatusCode, Target};
+use clam_xdr::Opaque;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A client of the whole cluster rather than of one server.
+pub struct ClusterClient {
+    connector: Arc<dyn Connector>,
+    caller_cfg: CallerConfig,
+    /// The bootstrap connection and the id of the node it landed on.
+    seed: Arc<ClamClient>,
+    seed_node: u64,
+    /// Direct connections by node id (includes the seed's node).
+    conns: Mutex<HashMap<u64, Arc<ClamClient>>>,
+    /// The placement cache: name → handle, filled by lookups,
+    /// invalidated by stale-handle and wrong-node responses.
+    cache: Mutex<HashMap<String, Handle>>,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("seed_node", &self.seed_node)
+            .field("conns", &self.conns.lock().len())
+            .field("cached", &self.cache.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterClient {
+    /// Connect to the cluster through the node at `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors connecting or handshaking.
+    pub fn connect(endpoint: &Endpoint) -> RpcResult<Arc<ClusterClient>> {
+        Self::connect_opts(endpoint, Arc::new(DirectConnector), CallerConfig::default())
+    }
+
+    /// Connect with an explicit connector and caller configuration
+    /// (both also govern every direct connection opened later).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors connecting or handshaking.
+    pub fn connect_opts(
+        endpoint: &Endpoint,
+        connector: Arc<dyn Connector>,
+        caller_cfg: CallerConfig,
+    ) -> RpcResult<Arc<ClusterClient>> {
+        let seed = ClamClient::connect_opts(
+            endpoint,
+            ClientOptions {
+                caller: caller_cfg,
+                scheduler: None,
+                connector: Arc::clone(&connector),
+            },
+        )?;
+        let dir = DirectoryProxy::new(
+            Arc::clone(seed.caller()),
+            Target::Builtin(DIRECTORY_SERVICE_ID),
+        );
+        let seed_node = dir.node_id()?;
+        let mut conns = HashMap::new();
+        conns.insert(seed_node, Arc::clone(&seed));
+        Ok(Arc::new(ClusterClient {
+            connector,
+            caller_cfg,
+            seed,
+            seed_node,
+            conns: Mutex::new(conns),
+            cache: Mutex::new(HashMap::new()),
+        }))
+    }
+
+    /// The node id the bootstrap connection landed on.
+    #[must_use]
+    pub fn seed_node(&self) -> u64 {
+        self.seed_node
+    }
+
+    /// The cluster directory, answered by the bootstrap node.
+    #[must_use]
+    pub fn directory(&self) -> DirectoryProxy {
+        DirectoryProxy::new(
+            Arc::clone(self.seed.caller()),
+            Target::Builtin(DIRECTORY_SERVICE_ID),
+        )
+    }
+
+    /// Current cluster membership, as the bootstrap node sees it.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn members(&self) -> RpcResult<Vec<Member>> {
+        self.directory().members()
+    }
+
+    /// The (cluster-wide) name service, answered by the bootstrap node.
+    #[must_use]
+    pub fn names(&self) -> NameServiceProxy {
+        NameServiceProxy::new(
+            Arc::clone(self.seed.caller()),
+            Target::Builtin(NAME_SERVICE_ID),
+        )
+    }
+
+    /// Look up a name, consulting the placement cache first.
+    ///
+    /// # Errors
+    ///
+    /// [`StatusCode::NoSuchObject`] for unknown names; transport errors.
+    pub fn lookup(&self, name: &str) -> RpcResult<Handle> {
+        if let Some(&h) = self.cache.lock().get(name) {
+            obs_placement_hit().inc();
+            return Ok(h);
+        }
+        obs_placement_miss().inc();
+        let h = self.names().lookup(name.to_string())?;
+        self.cache.lock().insert(name.to_string(), h);
+        Ok(h)
+    }
+
+    /// Bind a name (through the bootstrap node; the fabric routes it to
+    /// the ring owner). Fills the placement cache.
+    ///
+    /// # Errors
+    ///
+    /// Validation and transport errors from the bind.
+    pub fn bind(&self, name: &str, handle: Handle) -> RpcResult<()> {
+        self.names().bind(name.to_string(), handle)?;
+        // The stored handle is home-stamped by the serving node; cache
+        // what a lookup would now return.
+        if let Ok(stamped) = self.names().lookup(name.to_string()) {
+            self.cache.lock().insert(name.to_string(), stamped);
+        }
+        Ok(())
+    }
+
+    /// Remove a binding and its cache entry.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn unbind(&self, name: &str) -> RpcResult<bool> {
+        self.cache.lock().remove(name);
+        self.names().unbind(name.to_string())
+    }
+
+    /// Drop a placement-cache entry (tests and manual recovery).
+    pub fn invalidate(&self, name: &str) {
+        self.cache.lock().remove(name);
+    }
+
+    /// Number of placement-cache entries.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// The direct connection to `node`, opening one through the
+    /// directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node ids; transport errors connecting.
+    pub fn client_for_node(&self, node: u64) -> RpcResult<Arc<ClamClient>> {
+        if let Some(c) = self.conns.lock().get(&node) {
+            return Ok(Arc::clone(c));
+        }
+        let endpoint = self.directory().resolve(node)?;
+        let endpoint = Endpoint::parse(&endpoint).ok_or_else(|| {
+            RpcError::status(
+                StatusCode::AppError,
+                format!("node {node} has unparseable endpoint {endpoint:?}"),
+            )
+        })?;
+        let client = ClamClient::connect_opts(
+            &endpoint,
+            ClientOptions {
+                caller: self.caller_cfg,
+                scheduler: None,
+                connector: Arc::clone(&self.connector),
+            },
+        )?;
+        let mut conns = self.conns.lock();
+        let entry = conns.entry(node).or_insert(client);
+        Ok(Arc::clone(entry))
+    }
+
+    /// The best caller for a handle: its home node's direct connection
+    /// when one is open, the bootstrap connection (which forwards)
+    /// otherwise. Use this to aim generated proxies.
+    #[must_use]
+    pub fn caller_for(&self, handle: Handle) -> Arc<clam_rpc::Caller> {
+        match self.conns.lock().get(&handle.home) {
+            Some(c) => Arc::clone(c.caller()),
+            None => Arc::clone(self.seed.caller()),
+        }
+    }
+
+    /// Call a method on a handle, converging to direct routing: a call
+    /// without a direct connection goes through the bootstrap node
+    /// (one forwarded hop) and then opens the direct connection for
+    /// next time. `WrongNode` redirects resolve, connect, and retry
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// The remote call's error.
+    pub fn call(&self, handle: Handle, method: u32, args: Opaque) -> RpcResult<Opaque> {
+        let direct = self.conns.lock().get(&handle.home).map(Arc::clone);
+        let via = direct.unwrap_or_else(|| Arc::clone(&self.seed));
+        match via
+            .caller()
+            .call(Target::Object(handle), method, args.clone())
+        {
+            Ok(result) => {
+                // Forwarded success: learn the placement so the next
+                // call skips the extra hop.
+                if handle.home != 0 && !self.conns.lock().contains_key(&handle.home) {
+                    let _ = self.client_for_node(handle.home);
+                }
+                Ok(result)
+            }
+            Err(e) => {
+                let Some(home) = e.wrong_node_home() else {
+                    return Err(e);
+                };
+                // Redirected: the serving node would not forward. Go
+                // where the object lives and retry once.
+                obs_redirects().inc();
+                let client = self.client_for_node(home)?;
+                client.caller().call(Target::Object(handle), method, args)
+            }
+        }
+    }
+
+    /// Call a method on a *named* object: looks up through the
+    /// placement cache and retries once when the cached handle proves
+    /// dead — [`StatusCode::StaleHandle`] or
+    /// [`StatusCode::NoSuchObject`] from the call — since rebinding and
+    /// object death invalidate cached placements.
+    ///
+    /// # Errors
+    ///
+    /// Lookup and call errors after the one retry.
+    pub fn call_named(&self, name: &str, method: u32, args: Opaque) -> RpcResult<Opaque> {
+        let handle = self.lookup(name)?;
+        match self.call(handle, method, args.clone()) {
+            Err(e)
+                if matches!(
+                    e.status_code(),
+                    Some(StatusCode::StaleHandle | StatusCode::NoSuchObject)
+                ) =>
+            {
+                self.invalidate(name);
+                let fresh = self.lookup(name)?;
+                self.call(fresh, method, args)
+            }
+            other => other,
+        }
+    }
+
+    /// Subscribe a handler to a cluster topic through the bootstrap
+    /// node. Events posted on *any* node reach it. Returns the
+    /// subscription id.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors making the subscription.
+    pub fn subscribe<F>(&self, topic: &str, f: F) -> RpcResult<u64>
+    where
+        F: Fn(String, String) -> RpcResult<u32> + Send + Sync + 'static,
+    {
+        let proc = self
+            .seed
+            .register_upcall(move |(topic, payload): (String, String)| f(topic, payload));
+        self.events_on(&self.seed)
+            .subscribe(topic.to_string(), proc)
+    }
+
+    /// Post an event through the bootstrap node.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn post(&self, topic: &str, payload: &str) -> RpcResult<u32> {
+        self.events_on(&self.seed)
+            .post(topic.to_string(), payload.to_string())
+    }
+
+    /// Post an event through a *specific* node (exercises the
+    /// cross-node relay when subscribers live elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node ids; transport errors.
+    pub fn post_via(&self, node: u64, topic: &str, payload: &str) -> RpcResult<u32> {
+        let client = self.client_for_node(node)?;
+        self.events_on(&client)
+            .post(topic.to_string(), payload.to_string())
+    }
+
+    fn events_on(&self, client: &Arc<ClamClient>) -> ClusterEventsProxy {
+        ClusterEventsProxy::new(
+            Arc::clone(client.caller()),
+            Target::Builtin(EVENTS_SERVICE_ID),
+        )
+    }
+}

@@ -1,0 +1,67 @@
+//! A tiny shared demo object for cluster examples, tests, and the
+//! `clamstat` workload: a named counter that any node's clients can
+//! increment through the fabric.
+
+use crate::node::ClusterNode;
+use clam_rpc::{Handle, RpcResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Class id of the demo counter.
+pub const COUNTER_CLASS_ID: u32 = 11;
+
+clam_rpc::remote_interface! {
+    /// A shared counter addressed by handle.
+    pub interface Counter {
+        proxy CounterProxy;
+        skeleton CounterSkeleton;
+        class CounterClass;
+
+        /// Add `by`; returns the new value.
+        fn incr(by: u64) -> u64 = 1;
+        /// Current value.
+        fn get() -> u64 = 2;
+    }
+}
+
+/// In-memory counter state.
+#[derive(Debug, Default)]
+pub struct CounterImpl {
+    value: AtomicU64,
+}
+
+impl Counter for CounterImpl {
+    fn incr(&self, by: u64) -> RpcResult<u64> {
+        Ok(self.value.fetch_add(by, Ordering::Relaxed) + by)
+    }
+
+    fn get(&self) -> RpcResult<u64> {
+        Ok(self.value.load(Ordering::Relaxed))
+    }
+}
+
+/// Install a demo counter on `node`: registers the class (idempotent),
+/// creates one counter object, and publishes it cluster-wide as
+/// `cluster.demo.counter.<node-id>`. Returns the counter's handle.
+///
+/// # Errors
+///
+/// Transport errors publishing the name to its ring owner.
+pub fn install(node: &ClusterNode) -> RpcResult<Handle> {
+    let rpc = node.server().rpc();
+    if !rpc.has_class(COUNTER_CLASS_ID) {
+        rpc.register_class(
+            COUNTER_CLASS_ID,
+            Arc::new(CounterClass::<CounterImpl>::new()),
+        );
+    }
+    let handle = rpc.register_object(COUNTER_CLASS_ID, 1, Arc::new(CounterImpl::default()));
+    node.bind(&counter_name(node.id()), handle)?;
+    Ok(handle)
+}
+
+/// The cluster-wide name of node `id`'s demo counter.
+#[must_use]
+pub fn counter_name(id: u64) -> String {
+    format!("cluster.demo.counter.{id}")
+}

@@ -1,0 +1,114 @@
+//! Cluster membership: the directory service.
+//!
+//! One node is the **seed**: its directory is authoritative. A joining
+//! node calls [`Directory::join`] on the seed with its own id and
+//! endpoint and receives the full member list back; the seed then
+//! pushes the updated list to every other member with
+//! [`Directory::adopt`], so all rings converge without polling.
+//! Clients use [`Directory::resolve`] to turn a handle's home-node id
+//! into an endpoint they can connect to directly — the step that turns
+//! a forwarded first call into a direct second call.
+
+use crate::node::NodeInner;
+use clam_rpc::{RpcError, RpcResult, StatusCode};
+use std::sync::Weak;
+
+/// Builtin service id of the cluster directory.
+pub const DIRECTORY_SERVICE_ID: u32 = 8;
+
+clam_xdr::bundle_struct! {
+    /// One cluster member: node id plus the endpoint it listens on
+    /// (in [`Endpoint`](clam_net::Endpoint) display syntax, e.g.
+    /// `inproc://node-a` or `tcp://127.0.0.1:7000`).
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    pub struct Member {
+        /// Node id; nonzero, unique within the cluster.
+        pub id: u64,
+        /// Listen endpoint in `Endpoint` display syntax.
+        pub endpoint: String,
+    }
+}
+
+clam_rpc::remote_interface! {
+    /// Membership rendezvous and node-id → endpoint resolution.
+    pub interface Directory {
+        proxy DirectoryProxy;
+        skeleton DirectorySkeleton;
+        class DirectoryClass;
+
+        /// Join the cluster: announce yourself, get the full member
+        /// list back. Call this on the seed.
+        fn join(member: Member) -> Vec<Member> = 1;
+        /// This node's current member list (id-sorted, includes itself).
+        fn members() -> Vec<Member> = 2;
+        /// Endpoint of a node id.
+        fn resolve(node: u64) -> String = 3;
+        /// The answering node's own id (tells a client which node its
+        /// connection landed on).
+        fn node_id() -> u64 = 4;
+        /// Adopt a member list pushed by the seed after a join.
+        fn adopt(members: Vec<Member>) -> () = 5;
+    }
+}
+
+/// Per-node directory implementation backed by the node's member map.
+pub struct DirectoryImpl {
+    node: Weak<NodeInner>,
+}
+
+impl std::fmt::Debug for DirectoryImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirectoryImpl").finish_non_exhaustive()
+    }
+}
+
+impl DirectoryImpl {
+    pub(crate) fn new(node: Weak<NodeInner>) -> DirectoryImpl {
+        DirectoryImpl { node }
+    }
+
+    fn node(&self) -> RpcResult<std::sync::Arc<NodeInner>> {
+        self.node
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "node is gone"))
+    }
+}
+
+impl Directory for DirectoryImpl {
+    fn join(&self, member: Member) -> RpcResult<Vec<Member>> {
+        if member.id == 0 {
+            return Err(RpcError::status(
+                StatusCode::BadArgs,
+                "node id 0 is reserved",
+            ));
+        }
+        if clam_net::Endpoint::parse(&member.endpoint).is_none() {
+            return Err(RpcError::status(
+                StatusCode::BadArgs,
+                format!("unparseable endpoint {:?}", member.endpoint),
+            ));
+        }
+        let node = self.node()?;
+        node.admit(member);
+        Ok(node.members())
+    }
+
+    fn members(&self) -> RpcResult<Vec<Member>> {
+        Ok(self.node()?.members())
+    }
+
+    fn resolve(&self, node: u64) -> RpcResult<String> {
+        self.node()?.endpoint_of(node).ok_or_else(|| {
+            RpcError::status(StatusCode::NoSuchObject, format!("unknown node {node}"))
+        })
+    }
+
+    fn node_id(&self) -> RpcResult<u64> {
+        Ok(self.node()?.id())
+    }
+
+    fn adopt(&self, members: Vec<Member>) -> RpcResult<()> {
+        self.node()?.adopt_members(&members);
+        Ok(())
+    }
+}

@@ -1,0 +1,113 @@
+//! Cluster-wide distributed upcalls: topic events that cross nodes.
+//!
+//! The paper's distributed upcall crosses one address-space boundary —
+//! server to client. This service composes two of them so an event
+//! posted on node B reaches a subscriber registered on node A:
+//!
+//! 1. When a client subscribes on A (the first subscriber for that
+//!    topic), A registers a **relay** with every other node: an upcall
+//!    procedure living on A's server-to-server link, subscribed via
+//!    [`ClusterEvents::subscribe_relay`].
+//! 2. A post on B upcalls B's local subscribers *and* its relay
+//!    subscribers. The relay hop delivers into A's link client, whose
+//!    handler re-posts to A's **local** subscribers only — never to A's
+//!    own relays, which is what makes the fan-out loop-free.
+//!
+//! Both hops use the ordinary upcall machinery, so the trace context
+//! rides the wire on each hop and the whole event — post at B, relay
+//! B→A, delivery to A's client — journals as a single stitched tree.
+
+use crate::node::NodeInner;
+use clam_core::UpcallTarget;
+use clam_rpc::{ProcId, RpcError, RpcResult, StatusCode};
+use std::sync::Weak;
+
+/// Builtin service id of the cluster event service.
+pub const EVENTS_SERVICE_ID: u32 = 10;
+
+/// Event payload as it travels: `(topic, payload)`.
+pub(crate) type EventArgs = (String, String);
+
+clam_rpc::remote_interface! {
+    /// Subscribe/post topic events that propagate across the cluster.
+    pub interface ClusterEvents {
+        proxy ClusterEventsProxy;
+        skeleton ClusterEventsSkeleton;
+        class ClusterEventsClass;
+
+        /// Subscribe a client procedure (taking `(topic, payload)`,
+        /// returning its delivery count) to a topic. Returns a
+        /// subscription id.
+        fn subscribe(topic: String, proc: ProcId) -> u64 = 1;
+        /// Drop a subscription; returns whether it existed.
+        fn unsubscribe(topic: String, sub: u64) -> bool = 2;
+        /// Post an event; returns how many subscribers (cluster-wide)
+        /// received it.
+        fn post(topic: String, payload: String) -> u32 = 3;
+        /// Node-to-node: subscribe a peer's relay procedure. Relay
+        /// deliveries count as hops, not local deliveries, and are
+        /// never re-relayed.
+        fn subscribe_relay(topic: String, proc: ProcId) -> u64 = 4;
+    }
+}
+
+/// One subscription in a topic's list.
+pub(crate) struct Sub {
+    /// Subscription id, for `unsubscribe`.
+    pub id: u64,
+    /// True for peer relays (loop prevention: relays deliver only to
+    /// local subscribers on the far side).
+    pub relay: bool,
+    /// The registered upcall.
+    pub target: UpcallTarget<EventArgs, u32>,
+}
+
+/// Server-side implementation backed by the node's topic table.
+pub struct EventsImpl {
+    node: Weak<NodeInner>,
+}
+
+impl std::fmt::Debug for EventsImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventsImpl").finish_non_exhaustive()
+    }
+}
+
+impl EventsImpl {
+    pub(crate) fn new(node: Weak<NodeInner>) -> EventsImpl {
+        EventsImpl { node }
+    }
+
+    fn node(&self) -> RpcResult<std::sync::Arc<NodeInner>> {
+        self.node
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "node is gone"))
+    }
+
+    fn register(&self, topic: String, proc: ProcId, relay: bool) -> RpcResult<u64> {
+        let node = self.node()?;
+        let conn = clam_rpc::current_conn().ok_or_else(|| {
+            RpcError::status(StatusCode::AppError, "subscribe outside a connection")
+        })?;
+        let target = node.server().upcall_target::<EventArgs, u32>(conn, proc)?;
+        node.subscribe_local(topic, target, relay)
+    }
+}
+
+impl ClusterEvents for EventsImpl {
+    fn subscribe(&self, topic: String, proc: ProcId) -> RpcResult<u64> {
+        self.register(topic, proc, false)
+    }
+
+    fn unsubscribe(&self, topic: String, sub: u64) -> RpcResult<bool> {
+        Ok(self.node()?.unsubscribe_local(&topic, sub))
+    }
+
+    fn post(&self, topic: String, payload: String) -> RpcResult<u32> {
+        self.node()?.post_event(&topic, &payload)
+    }
+
+    fn subscribe_relay(&self, topic: String, proc: ProcId) -> RpcResult<u64> {
+        self.register(topic, proc, true)
+    }
+}

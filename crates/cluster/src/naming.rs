@@ -1,0 +1,61 @@
+//! The cluster-wide name service.
+//!
+//! [`ShardedNames`] re-implements the single-server
+//! [`NameService`](clam_core::NameService) interface over the sharded
+//! namespace: the node a client happens to be connected to computes the
+//! name's ring owner and either serves from its own partition or
+//! relays one hop over the [shard protocol](crate::shard). Clients are
+//! oblivious — the same `NameServiceProxy` that talked to one server
+//! talks to a cluster, and the handles it gets back carry the home
+//! node that makes forwarding and direct routing work.
+
+use crate::node::NodeInner;
+use clam_core::NameService;
+use clam_rpc::{Handle, RpcError, RpcResult, StatusCode};
+use std::sync::Weak;
+
+/// Cluster implementation of [`NameService`], registered under
+/// [`clam_core::NAME_SERVICE_ID`] in place of the single-server one.
+pub struct ShardedNames {
+    node: Weak<NodeInner>,
+}
+
+impl std::fmt::Debug for ShardedNames {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNames").finish_non_exhaustive()
+    }
+}
+
+impl ShardedNames {
+    pub(crate) fn new(node: Weak<NodeInner>) -> ShardedNames {
+        ShardedNames { node }
+    }
+
+    fn node(&self) -> RpcResult<std::sync::Arc<NodeInner>> {
+        self.node
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "node is gone"))
+    }
+}
+
+impl NameService for ShardedNames {
+    fn bind(&self, name: String, handle: Handle) -> RpcResult<()> {
+        self.node()?.route_bind(name, handle)
+    }
+
+    fn lookup(&self, name: String) -> RpcResult<Handle> {
+        self.node()?.route_lookup(&name)
+    }
+
+    fn unbind(&self, name: String) -> RpcResult<bool> {
+        self.node()?.route_unbind(&name)
+    }
+
+    fn list_names(&self) -> RpcResult<Vec<String>> {
+        self.node()?.route_list("")
+    }
+
+    fn list(&self, prefix: String) -> RpcResult<Vec<String>> {
+        self.node()?.route_list(&prefix)
+    }
+}

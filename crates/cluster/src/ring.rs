@@ -1,0 +1,147 @@
+//! Consistent-hash placement of names onto cluster nodes.
+//!
+//! Every node derives the same ring from the same membership list, so
+//! any node can compute a name's owner without coordination. Each node
+//! contributes a fixed number of virtual points (hashes of
+//! `node_id:replica`); a name belongs to the first point clockwise from
+//! its own hash. Adding a node moves only the names that fall into its
+//! new arcs — the property that makes rebalancing incremental rather
+//! than total.
+//!
+//! Hashing is finalized FNV-1a: deterministic across processes and platforms, no
+//! seeding, no dependency — placement must be a pure function of
+//! (membership, name) or two nodes would route the same name
+//! differently.
+
+/// Virtual points each node contributes to the ring. More points
+/// smooth the load split at the cost of a longer sorted array; 32 keeps
+/// the worst-case imbalance low for the handful-of-nodes clusters this
+/// fabric targets.
+const REPLICAS: u32 = 32;
+
+/// 64-bit FNV-1a with a murmur3-style finalizer. Bare FNV barely
+/// diffuses short low-entropy keys (node ids are small integers), which
+/// clusters a node's virtual points into one arc; the finalizer's
+/// avalanche spreads them over the whole ring.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring over node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// `(point_hash, node_id)`, sorted by hash.
+    points: Vec<(u64, u64)>,
+}
+
+impl Ring {
+    /// Build the ring for a membership list. Duplicate ids collapse;
+    /// order does not matter — equal member sets yield equal rings.
+    #[must_use]
+    pub fn new(nodes: &[u64]) -> Ring {
+        let mut ids: Vec<u64> = nodes.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut points = Vec::with_capacity(ids.len() * REPLICAS as usize);
+        for id in ids {
+            for replica in 0..REPLICAS {
+                let mut key = [0u8; 12];
+                key[..8].copy_from_slice(&id.to_be_bytes());
+                key[8..].copy_from_slice(&replica.to_be_bytes());
+                points.push((ring_hash(&key), id));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The node a name belongs to: first ring point at or after the
+    /// name's hash, wrapping at the top. `None` on an empty ring.
+    #[must_use]
+    pub fn owner(&self, name: &str) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = ring_hash(name.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, node) = self.points[idx % self.points.len()];
+        Some(node)
+    }
+
+    /// Number of distinct nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len() / REPLICAS as usize
+    }
+
+    /// True if no nodes are on the ring.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let a = Ring::new(&[1, 2, 3]);
+        let b = Ring::new(&[3, 1, 2, 2]);
+        assert_eq!(a, b);
+        for name in ["alpha", "beta", "cluster.demo.counter.1", ""] {
+            assert_eq!(a.owner(name), b.owner(name));
+        }
+    }
+
+    #[test]
+    fn every_node_owns_some_names() {
+        let ring = Ring::new(&[1, 2, 3]);
+        let mut owners = std::collections::HashSet::new();
+        for i in 0..200 {
+            owners.insert(ring.owner(&format!("name-{i}")).unwrap());
+        }
+        assert_eq!(owners.len(), 3, "32 replicas spread 200 names over 3 nodes");
+    }
+
+    #[test]
+    fn adding_a_node_moves_only_some_names() {
+        let before = Ring::new(&[1, 2]);
+        let after = Ring::new(&[1, 2, 3]);
+        let names: Vec<String> = (0..200).map(|i| format!("name-{i}")).collect();
+        let moved = names
+            .iter()
+            .filter(|n| before.owner(n) != after.owner(n))
+            .count();
+        assert!(moved > 0, "the new node takes over something");
+        assert!(
+            moved < names.len() / 2,
+            "consistent hashing moves a minority of names, moved {moved}"
+        );
+        // Names that moved now live on the new node.
+        for n in &names {
+            if before.owner(n) != after.owner(n) {
+                assert_eq!(after.owner(n), Some(3));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_rings() {
+        assert!(Ring::new(&[]).is_empty());
+        assert_eq!(Ring::new(&[]).owner("x"), None);
+        let solo = Ring::new(&[7]);
+        assert_eq!(solo.len(), 1);
+        assert_eq!(solo.owner("anything"), Some(7));
+    }
+}

@@ -1,0 +1,98 @@
+//! The inter-node shard protocol behind the sharded name service.
+//!
+//! Each node stores only its partition of the namespace (the names the
+//! [ring](crate::ring::Ring) assigns to it). When a bind or lookup
+//! arrives at a node that does not own the name, the node relays it to
+//! the owner over a server-to-server link using this service — at most
+//! one hop, enforced by the `hops` argument. Clients never call this
+//! service directly; they use the ordinary
+//! [`NameService`](clam_core::NameService) interface, which every
+//! cluster node re-implements over these primitives.
+
+use crate::node::NodeInner;
+use clam_rpc::{Handle, RpcError, RpcResult, StatusCode};
+use std::sync::Weak;
+
+/// Builtin service id of the shard protocol (internal, node-to-node).
+pub const SHARD_SERVICE_ID: u32 = 9;
+
+clam_rpc::remote_interface! {
+    /// Node-to-node shard operations. `hops` counts routing steps so a
+    /// request can never circulate: nodes send with `hops = 1` and a
+    /// receiver refuses to relay further.
+    pub interface ShardSvc {
+        proxy ShardSvcProxy;
+        skeleton ShardSvcSkeleton;
+        class ShardSvcClass;
+
+        /// Store a binding in this node's partition.
+        fn bind_at(name: String, handle: Handle, hops: u32) -> () = 1;
+        /// Look up a binding in this node's partition.
+        fn lookup_at(name: String, hops: u32) -> Handle = 2;
+        /// Remove a binding from this node's partition.
+        fn unbind_at(name: String, hops: u32) -> bool = 3;
+        /// Names in this node's partition starting with `prefix`.
+        fn list_local(prefix: String) -> Vec<String> = 4;
+    }
+}
+
+/// Guard against routing loops under membership skew: a relayed
+/// operation (`hops >= 1`) applies to the local partition no matter
+/// what the receiver's own ring says, and anything beyond one hop is a
+/// protocol violation.
+fn check_hops(hops: u32) -> RpcResult<()> {
+    if hops > 1 {
+        return Err(RpcError::status(
+            StatusCode::AppError,
+            format!("shard routing loop: {hops} hops"),
+        ));
+    }
+    Ok(())
+}
+
+/// Server-side shard implementation backed by the node's partition map.
+pub struct ShardImpl {
+    node: Weak<NodeInner>,
+}
+
+impl std::fmt::Debug for ShardImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardImpl").finish_non_exhaustive()
+    }
+}
+
+impl ShardImpl {
+    pub(crate) fn new(node: Weak<NodeInner>) -> ShardImpl {
+        ShardImpl { node }
+    }
+
+    fn node(&self) -> RpcResult<std::sync::Arc<NodeInner>> {
+        self.node
+            .upgrade()
+            .ok_or_else(|| RpcError::status(StatusCode::AppError, "node is gone"))
+    }
+}
+
+impl ShardSvc for ShardImpl {
+    fn bind_at(&self, name: String, handle: Handle, hops: u32) -> RpcResult<()> {
+        check_hops(hops)?;
+        self.node()?.partition_insert(name, handle);
+        Ok(())
+    }
+
+    fn lookup_at(&self, name: String, hops: u32) -> RpcResult<Handle> {
+        check_hops(hops)?;
+        self.node()?.partition_get(&name).ok_or_else(|| {
+            RpcError::status(StatusCode::NoSuchObject, format!("no binding {name:?}"))
+        })
+    }
+
+    fn unbind_at(&self, name: String, hops: u32) -> RpcResult<bool> {
+        check_hops(hops)?;
+        Ok(self.node()?.partition_remove(&name))
+    }
+
+    fn list_local(&self, prefix: String) -> RpcResult<Vec<String>> {
+        Ok(self.node()?.partition_list(&prefix))
+    }
+}

@@ -13,9 +13,10 @@
 //! as an ordinary bundled argument and comes back to life there as a RUC
 //! object (section 3.5.2).
 
+use crate::error::CoreError;
 use crate::wire::{ChannelRole, Hello};
 use clam_load::LoaderProxy;
-use clam_net::{Endpoint, MsgWriter};
+use clam_net::{Connector, DirectConnector, Endpoint, MsgWriter};
 use clam_obs::{EventKind, SpanId};
 use clam_rpc::{
     Caller, CallerConfig, Message, ProcId, Reply, RpcError, RpcResult, StatusCode, Target,
@@ -112,6 +113,42 @@ impl ProcRegistry {
     }
 }
 
+/// How a [`ClamClient`] reaches its server and where its tasks run.
+///
+/// The defaults reproduce [`ClamClient::connect`]: a private
+/// `"clam-client"` scheduler and direct transport connections.
+pub struct ClientOptions {
+    /// Batching/deadline configuration for the RPC caller.
+    pub caller: CallerConfig,
+    /// Scheduler to host the client's tasks. `None` creates a private
+    /// one. The cluster fabric passes a node's *server* scheduler here
+    /// so a forwarded call blocks that scheduler cooperatively (the
+    /// server keeps serving) instead of freezing one of its OS threads.
+    pub scheduler: Option<Scheduler>,
+    /// How to open the two channels; tests interpose fault injection
+    /// by supplying a [`clam_net::FaultyConnector`].
+    pub connector: Arc<dyn Connector>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            caller: CallerConfig::default(),
+            scheduler: None,
+            connector: Arc::new(DirectConnector),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClientOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientOptions")
+            .field("caller", &self.caller)
+            .field("external_scheduler", &self.scheduler.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 struct UpcallInbox {
     queue: Mutex<VecDeque<UpcallMsg>>,
     event: Event,
@@ -157,22 +194,41 @@ impl ClamClient {
         endpoint: &Endpoint,
         caller_config: CallerConfig,
     ) -> RpcResult<Arc<ClamClient>> {
+        Self::connect_opts(
+            endpoint,
+            ClientOptions {
+                caller: caller_config,
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    /// Connect with full control over scheduler, connector, and caller
+    /// configuration (see [`ClientOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors connecting or handshaking; a spawn failure for
+    /// the upcall pump surfaces as an application-level status.
+    pub fn connect_opts(endpoint: &Endpoint, opts: ClientOptions) -> RpcResult<Arc<ClamClient>> {
         let nonce = rand::thread_rng().next_u64();
 
-        let mut rpc_ch = clam_net::connect(endpoint)?;
+        let mut rpc_ch = opts.connector.connect(endpoint)?;
         rpc_ch.send(&clam_xdr::encode(&Hello {
             role: ChannelRole::Rpc,
             nonce,
         })?)?;
-        let mut upcall_ch = clam_net::connect(endpoint)?;
+        let mut upcall_ch = opts.connector.connect(endpoint)?;
         upcall_ch.send(&clam_xdr::encode(&Hello {
             role: ChannelRole::Upcall,
             nonce,
         })?)?;
 
-        let sched = Scheduler::new("clam-client");
+        let sched = opts
+            .scheduler
+            .unwrap_or_else(|| Scheduler::new("clam-client"));
         let (rpc_writer, rpc_reader) = rpc_ch.split();
-        let caller = Caller::new(&sched, rpc_writer, caller_config);
+        let caller = Caller::new(&sched, rpc_writer, opts.caller);
         caller.spawn_reply_pump(rpc_reader);
 
         let (mut up_writer, mut up_reader) = upcall_ch.split();
@@ -207,7 +263,10 @@ impl ClamClient {
                     inbox.dead.store(true, Ordering::Release);
                     inbox.event.signal();
                 })
-                .expect("failed to spawn upcall pump");
+                .map_err(|source| CoreError::Spawn {
+                    thread: "clam-upcall-pump".into(),
+                    source,
+                })?;
         }
 
         let client = Arc::new(ClamClient {

@@ -54,6 +54,7 @@
 
 mod client;
 mod config;
+mod error;
 mod naming;
 mod ruc;
 mod server;
@@ -61,9 +62,12 @@ mod session;
 mod upcall;
 mod wire;
 
-pub use client::{ClamClient, ProcRegistry};
+pub use client::{ClamClient, ClientOptions, ProcRegistry};
 pub use config::ServerConfig;
-pub use naming::{NameService, NameServiceImpl, NameServiceProxy, NAME_SERVICE_ID};
+pub use error::{CoreError, CoreResult};
+pub use naming::{
+    NameService, NameServiceImpl, NameServiceProxy, NameServiceSkeleton, NAME_SERVICE_ID,
+};
 pub use ruc::{RemoteUpcall, UpcallRouter};
 pub use server::{ClamServer, ClamServerBuilder};
 pub use session::{ErrorReport, SessionCtl, SessionCtlProxy, SESSION_SERVICE_ID};

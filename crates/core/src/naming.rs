@@ -31,6 +31,10 @@ clam_rpc::remote_interface! {
         fn unbind(name: String) -> bool = 3;
         /// All bound names, sorted.
         fn list_names() -> Vec<String> = 4;
+        /// Bound names starting with `prefix`, sorted. The enumeration
+        /// primitive behind cluster rebalancing and diagnostics; an
+        /// empty prefix lists everything.
+        fn list(prefix: String) -> Vec<String> = 5;
     }
 }
 
@@ -94,7 +98,17 @@ impl NameService for NameServiceImpl {
     }
 
     fn list_names(&self) -> RpcResult<Vec<String>> {
-        let mut names: Vec<String> = self.bindings.lock().keys().cloned().collect();
+        self.list(String::new())
+    }
+
+    fn list(&self, prefix: String) -> RpcResult<Vec<String>> {
+        let mut names: Vec<String> = self
+            .bindings
+            .lock()
+            .keys()
+            .filter(|n| n.starts_with(&prefix))
+            .cloned()
+            .collect();
         names.sort();
         Ok(names)
     }
@@ -126,8 +140,8 @@ mod tests {
     fn binding_a_forged_handle_is_refused() {
         let (_server, names, handle) = rig();
         let forged = Handle {
-            object_id: handle.object_id,
             tag: handle.tag.wrapping_add(1),
+            ..handle
         };
         let err = names.bind("x".into(), forged).unwrap_err();
         assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
@@ -142,7 +156,8 @@ mod tests {
                 "ghost".into(),
                 Handle {
                     object_id: 999,
-                    tag: 1
+                    tag: 1,
+                    home: 0,
                 }
             )
             .is_err());
@@ -156,5 +171,27 @@ mod tests {
         names.bind("slot".into(), h1).unwrap();
         names.bind("slot".into(), h2).unwrap();
         assert_eq!(names.lookup("slot".into()).unwrap(), h2);
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let (server, names, h) = rig();
+        let h2 = server.register_object(1, 1, Arc::new(8u32));
+        let h3 = server.register_object(1, 1, Arc::new(9u32));
+        names.bind("win.b".into(), h).unwrap();
+        names.bind("win.a".into(), h2).unwrap();
+        names.bind("door.a".into(), h3).unwrap();
+
+        assert_eq!(
+            names.list("win.".into()).unwrap(),
+            vec!["win.a".to_string(), "win.b".to_string()]
+        );
+        assert_eq!(names.list("door.".into()).unwrap(), vec!["door.a"]);
+        assert!(names.list("cellar.".into()).unwrap().is_empty());
+        // The empty prefix is list_names.
+        assert_eq!(
+            names.list(String::new()).unwrap(),
+            names.list_names().unwrap()
+        );
     }
 }

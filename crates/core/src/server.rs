@@ -11,6 +11,7 @@
 //! error-reporting upcalls from fresh tasks (section 4.3).
 
 use crate::config::ServerConfig;
+use crate::error::{CoreError, CoreResult};
 use crate::naming::NameServiceImpl;
 use crate::ruc::{RemoteUpcall, UpcallRouter};
 use crate::session::{
@@ -75,8 +76,8 @@ impl ClamServerBuilder {
     /// # Errors
     ///
     /// Transport errors binding listeners; loader errors installing
-    /// modules.
-    pub fn build(self) -> RpcResult<Arc<ClamServer>> {
+    /// modules; [`CoreError::Spawn`] if an accept thread cannot start.
+    pub fn build(self) -> CoreResult<Arc<ClamServer>> {
         ClamServer::start(self.config, self.endpoints, self.modules)
     }
 }
@@ -123,7 +124,7 @@ impl ClamServer {
         config: ServerConfig,
         endpoints: Vec<Endpoint>,
         modules: Vec<Arc<dyn Module>>,
-    ) -> RpcResult<Arc<ClamServer>> {
+    ) -> CoreResult<Arc<ClamServer>> {
         let rpc = Arc::new(RpcServer::new());
         let loader = Arc::new(DynamicLoader::new());
         for module in modules {
@@ -185,7 +186,15 @@ impl ClamServer {
                         server.admit(channel);
                     }
                 })
-                .expect("failed to spawn accept thread");
+                .map_err(|source| {
+                    // Surface the failure instead of aborting: the caller
+                    // gets its error, already-started accept threads find
+                    // their weak server reference dead and exit.
+                    CoreError::Spawn {
+                        thread: "clam-accept".into(),
+                        source,
+                    }
+                })?;
         }
 
         Ok(server)
@@ -391,12 +400,13 @@ impl ClamServer {
         // are serviced immediately in an auxiliary task; everything else
         // keeps the paper's batched-call ordering.
         {
-            let session = Arc::clone(&session);
+            let pump_session = Arc::clone(&session);
             let sessions = Arc::clone(&self.sessions);
             let server = Arc::clone(self);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("clam-rpc-pump-{}", conn.0))
                 .spawn(move || {
+                    let session = pump_session;
                     rpc_reader.attach_pool(session.buffer_pool());
                     while let Ok(frame) = rpc_reader.recv() {
                         if !session.is_alive() {
@@ -424,8 +434,15 @@ impl ClamServer {
                     session.mark_dead();
                     sessions.remove(conn);
                     server.rpc.invalidate_owner(conn);
-                })
-                .expect("failed to spawn rpc read pump");
+                });
+            if spawned.is_err() {
+                // No pump thread means the session can never serve; tear
+                // it down cleanly — the client observes a dropped
+                // connection — rather than aborting the accept thread.
+                session.mark_dead();
+                self.sessions.remove(conn);
+                self.rpc.invalidate_owner(conn);
+            }
         }
     }
 

@@ -134,11 +134,15 @@ mod tests {
     }
 
     fn dispatch_ok(server: &RpcServer, target: Target, method: u32, args: Opaque) -> Opaque {
+        // Distinct request ids: the per-connection dedup window drops a
+        // repeated id as a duplicate delivery.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
         let reply = server
             .dispatch_call(
                 ConnId(1),
                 clam_rpc::Call {
-                    request_id: 1,
+                    request_id: NEXT_REQUEST.fetch_add(1, Ordering::Relaxed),
                     target,
                     method,
                     args,

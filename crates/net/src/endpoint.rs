@@ -57,6 +57,31 @@ impl Endpoint {
         }
     }
 
+    /// Parse the URL-like form produced by [`Display`](fmt::Display):
+    /// `inproc://name`, `unix://path`, `tcp://addr`, `wan://addr`.
+    ///
+    /// Cluster membership carries endpoints as strings on the wire; this
+    /// is the inverse mapping. A `wan://` address parses with the default
+    /// latency model (the query suffix, if present, is ignored — the
+    /// latency is simulation config, not addressing).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Endpoint> {
+        let (scheme, rest) = s.split_once("://")?;
+        if rest.is_empty() {
+            return None;
+        }
+        match scheme {
+            "inproc" => Some(Endpoint::in_proc(rest)),
+            "unix" => Some(Endpoint::unix(rest)),
+            "tcp" => Some(Endpoint::tcp(rest)),
+            "wan" => {
+                let addr = rest.split_once('?').map_or(rest, |(a, _)| a);
+                Some(Endpoint::wan(addr))
+            }
+            _ => None,
+        }
+    }
+
     /// A short transport tag: `"inproc"`, `"unix"`, `"tcp"`, or `"wan"`.
     #[must_use]
     pub fn transport_name(&self) -> &'static str {
@@ -99,5 +124,25 @@ mod tests {
         assert_eq!(Endpoint::in_proc("x").to_string(), "inproc://x");
         assert_eq!(Endpoint::tcp("h:1").to_string(), "tcp://h:1");
         assert!(Endpoint::wan("h:1").to_string().starts_with("wan://h:1"));
+    }
+
+    #[test]
+    fn parse_inverts_display() {
+        for ep in [
+            Endpoint::in_proc("node-a"),
+            Endpoint::unix("/tmp/clam.sock"),
+            Endpoint::tcp("127.0.0.1:7000"),
+            Endpoint::wan("10.0.0.1:7000"),
+        ] {
+            assert_eq!(Endpoint::parse(&ep.to_string()), Some(ep));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Endpoint::parse(""), None);
+        assert_eq!(Endpoint::parse("tcp:127.0.0.1:1"), None);
+        assert_eq!(Endpoint::parse("carrier-pigeon://coop"), None);
+        assert_eq!(Endpoint::parse("inproc://"), None);
     }
 }

@@ -38,6 +38,7 @@
 //! ```
 
 mod channel;
+mod connector;
 mod endpoint;
 mod error;
 mod fault;
@@ -48,6 +49,7 @@ mod unix;
 mod wan;
 
 pub use channel::{pair, Channel, MsgReader, MsgWriter};
+pub use connector::{Connector, DirectConnector, FaultyConnector};
 pub use endpoint::Endpoint;
 pub use error::{NetError, NetResult};
 pub use fault::{FaultHandle, FaultPlan, FaultStats, FaultyChannel, FrameFate};

@@ -32,6 +32,9 @@ clam_xdr::bundle_enum! {
         UpcallLimit = 8,
         /// Catch-all application error raised by a service.
         AppError = 9,
+        /// The handle's object is homed on a different cluster node; the
+        /// detail carries `home=<node>` so the caller can re-route.
+        WrongNode = 10,
     }
 }
 
@@ -74,6 +77,27 @@ impl RpcError {
     pub fn status_code(&self) -> Option<StatusCode> {
         match self {
             RpcError::Status { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// A [`StatusCode::WrongNode`] redirect naming the object's home
+    /// node. The detail format (`home=<node>`) is what
+    /// [`wrong_node_home`](RpcError::wrong_node_home) parses back.
+    #[must_use]
+    pub fn wrong_node(home: u64) -> RpcError {
+        RpcError::status(StatusCode::WrongNode, format!("home={home}"))
+    }
+
+    /// The home node a `WrongNode` redirect points at, if this is one
+    /// and its detail is well-formed.
+    #[must_use]
+    pub fn wrong_node_home(&self) -> Option<u64> {
+        match self {
+            RpcError::Status {
+                code: StatusCode::WrongNode,
+                message,
+            } => message.strip_prefix("home=")?.parse().ok(),
             _ => None,
         }
     }
@@ -139,6 +163,23 @@ mod tests {
         assert_eq!(e.status_code(), Some(StatusCode::StaleHandle));
         assert!(e.to_string().contains("tag mismatch"));
         assert_eq!(RpcError::Disconnected.status_code(), None);
+    }
+
+    #[test]
+    fn wrong_node_redirects_round_trip() {
+        let e = RpcError::wrong_node(42);
+        assert_eq!(e.status_code(), Some(StatusCode::WrongNode));
+        assert_eq!(e.wrong_node_home(), Some(42));
+        // Non-redirects and malformed details yield no home.
+        assert_eq!(RpcError::Disconnected.wrong_node_home(), None);
+        let garbled = RpcError::status(StatusCode::WrongNode, "elsewhere");
+        assert_eq!(garbled.wrong_node_home(), None);
+        // The code itself survives the wire.
+        let bytes = clam_xdr::encode(&StatusCode::WrongNode).unwrap();
+        assert_eq!(
+            clam_xdr::decode::<StatusCode>(&bytes).unwrap(),
+            StatusCode::WrongNode
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ clam_xdr::bundle_struct! {
         pub object_id: u64,
         /// Arbitrary bit pattern checked against the table entry.
         pub tag: u64,
+        /// Cluster node the object lives on; `0` means "this server"
+        /// (the single-server topology, where handles never travel
+        /// between servers). A server whose node id differs forwards or
+        /// redirects instead of consulting its own table.
+        pub home: u64,
     }
 }
 
@@ -42,12 +47,20 @@ impl Handle {
     pub const NIL: Handle = Handle {
         object_id: 0,
         tag: 0,
+        home: 0,
     };
 
     /// True for the nil handle.
     #[must_use]
     pub fn is_nil(&self) -> bool {
         self.object_id == 0
+    }
+
+    /// True when the handle names an object on cluster node `node`.
+    /// Un-homed handles (`home == 0`) are local everywhere.
+    #[must_use]
+    pub fn is_local_to(&self, node: u64) -> bool {
+        self.home == 0 || self.home == node
     }
 }
 
@@ -129,6 +142,11 @@ impl ObjectEntry {
 pub struct ObjectTable {
     entries: HashMap<u64, ObjectEntry>,
     next_id: u64,
+    /// Stamped into the `home` field of every handle this table mints.
+    /// `0` (the default) produces un-homed handles for the single-server
+    /// topology; cluster nodes set their node id so handles stay
+    /// routable when they leak to other nodes.
+    home_node: u64,
 }
 
 impl Default for ObjectTable {
@@ -144,7 +162,21 @@ impl ObjectTable {
         ObjectTable {
             entries: HashMap::new(),
             next_id: 1,
+            home_node: 0,
         }
+    }
+
+    /// Stamp all subsequently minted handles with `node` as their home.
+    /// Handles minted before the call keep `home == 0` (local
+    /// everywhere), so set the node id before registering objects.
+    pub fn set_home_node(&mut self, node: u64) {
+        self.home_node = node;
+    }
+
+    /// The node id stamped into minted handles (`0` = un-homed).
+    #[must_use]
+    pub fn home_node(&self) -> u64 {
+        self.home_node
     }
 
     /// Register an object, returning the handle to hand to a client.
@@ -188,7 +220,11 @@ impl ObjectTable {
             },
         );
         obs_table_size().adjust(1);
-        Handle { object_id, tag }
+        Handle {
+            object_id,
+            tag,
+            home: self.home_node,
+        }
     }
 
     /// Invalidate every entry owned by `owner`: each tag is bumped, so
@@ -311,8 +347,8 @@ mod tests {
         let mut table = ObjectTable::new();
         let h = table.register(1, 1, Arc::new(0u8));
         let forged = Handle {
-            object_id: h.object_id,
             tag: h.tag.wrapping_add(1),
+            ..h
         };
         let err = table.lookup(forged).unwrap_err();
         assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
@@ -325,6 +361,7 @@ mod tests {
             .lookup(Handle {
                 object_id: 99,
                 tag: 1,
+                home: 0,
             })
             .unwrap_err();
         assert_eq!(err.status_code(), Some(StatusCode::NoSuchObject));
@@ -363,8 +400,8 @@ mod tests {
         let mut table = ObjectTable::new();
         let h = table.register(1, 1, Arc::new(1u8));
         let forged = Handle {
-            object_id: h.object_id,
             tag: h.tag.wrapping_add(1),
+            ..h
         };
         assert!(table.unregister(forged).is_none());
         assert_eq!(table.len(), 1);
@@ -375,10 +412,29 @@ mod tests {
         let h = Handle {
             object_id: 5,
             tag: 0xdead_beef,
+            home: 3,
         };
         let bytes = clam_xdr::encode(&h).unwrap();
-        assert_eq!(bytes.len(), 16);
+        assert_eq!(bytes.len(), 24);
         assert_eq!(clam_xdr::decode::<Handle>(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn home_node_is_stamped_into_minted_handles() {
+        let mut table = ObjectTable::new();
+        let unhomed = table.register(1, 1, Arc::new(0u8));
+        assert_eq!(unhomed.home, 0);
+        assert!(unhomed.is_local_to(1) && unhomed.is_local_to(2));
+
+        table.set_home_node(9);
+        assert_eq!(table.home_node(), 9);
+        let homed = table.register(1, 1, Arc::new(0u8));
+        assert_eq!(homed.home, 9);
+        assert!(homed.is_local_to(9));
+        assert!(!homed.is_local_to(2));
+        // Home is routing metadata: the local table honors the handle
+        // regardless of the stamp.
+        assert!(table.lookup(homed).is_ok());
     }
 
     #[test]

@@ -14,9 +14,10 @@ use clam_xdr::{BufferPool, Bundle, Opaque, XdrError, XdrResult, XdrStream};
 /// Protocol wire version, packed into the high bits of every frame's
 /// leading kind word (`(WIRE_VERSION << 8) | kind`). Version 2 added
 /// causal trace propagation: calls and upcalls carry a
-/// [`TraceContext`], so a frame from a version-1 peer — which lacks the
-/// trace field — is rejected up front instead of misparsed.
-pub const WIRE_VERSION: u32 = 2;
+/// [`TraceContext`]. Version 3 widened [`Handle`] with the cluster
+/// home-node field, so a frame from an older peer — whose handles are
+/// 16 bytes — is rejected up front instead of misparsed.
+pub const WIRE_VERSION: u32 = 3;
 
 const fn packed_kind(kind: u32) -> u32 {
     (WIRE_VERSION << 8) | kind
@@ -381,6 +382,7 @@ mod tests {
             target: Target::Object(Handle {
                 object_id: 9,
                 tag: 0xfeed,
+                home: 0,
             }),
             method: 4,
             args: Opaque::from(vec![1, 2, 3]),
@@ -399,6 +401,7 @@ mod tests {
             Target::Object(Handle {
                 object_id: 1,
                 tag: 2,
+                home: 3,
             }),
         ] {
             let bytes = clam_xdr::encode(&t).unwrap();
@@ -467,8 +470,8 @@ mod tests {
             }
         ));
         // A future version is refused the same way, not misparsed.
-        let v3_frame = clam_xdr::encode(&((3u32 << 8) | MSG_CALL_BATCH)).unwrap();
-        assert!(Message::from_frame(&v3_frame).is_err());
+        let future = clam_xdr::encode(&((WIRE_VERSION + 1) << 8 | MSG_CALL_BATCH)).unwrap();
+        assert!(Message::from_frame(&future).is_err());
     }
 
     #[test]

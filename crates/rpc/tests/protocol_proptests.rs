@@ -7,7 +7,11 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn arb_handle() -> impl Strategy<Value = Handle> {
-    (any::<u64>(), any::<u64>()).prop_map(|(object_id, tag)| Handle { object_id, tag })
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(object_id, tag, home)| Handle {
+        object_id,
+        tag,
+        home,
+    })
 }
 
 fn arb_trace() -> impl Strategy<Value = TraceContext> {
@@ -128,8 +132,8 @@ proptest! {
             let got: Arc<u32> = table.resolve(*h).unwrap();
             prop_assert_eq!(*got, *v);
             let forged = Handle {
-                object_id: h.object_id,
                 tag: h.tag.wrapping_add(tag_delta),
+                ..*h
             };
             prop_assert!(table.lookup(forged).is_err());
         }

@@ -1,0 +1,256 @@
+//! Three-node cluster acceptance: sharded naming, handle forwarding
+//! with client-side convergence to direct routing, and cross-node
+//! distributed upcalls stitched into one trace.
+//!
+//! All three nodes run in this process over in-proc transports, so one
+//! journal and one metrics registry see the whole cluster. Tests that
+//! assert global-counter deltas serialize on [`GATE`]; ungated tests
+//! must not touch the counters the gated ones measure.
+
+use clam_cluster::demo::{self, Counter, CounterProxy};
+use clam_cluster::{ClusterClient, ClusterConfig, ClusterNode};
+use clam_core::NameService;
+use clam_net::Endpoint;
+use clam_obs::EventKind;
+use clam_rpc::{RpcResult, Target};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Serializes tests that measure process-global metric deltas.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn incr_args(by: u64) -> clam_xdr::Opaque {
+    clam_xdr::Opaque::from(clam_xdr::encode(&(by,)).expect("encode"))
+}
+
+fn decode_u64(bytes: &clam_xdr::Opaque) -> u64 {
+    clam_xdr::decode(bytes.as_slice()).expect("decode")
+}
+
+/// Start a seed plus two joined nodes on in-proc endpoints.
+fn cluster3(tag: &str) -> (ClusterNode, ClusterNode, ClusterNode) {
+    let ep = |host: &str| Endpoint::in_proc(format!("cluster-{tag}-{host}"));
+    let a = ClusterNode::start(ClusterConfig::new(1, ep("a"))).expect("seed starts");
+    let b = ClusterNode::start(ClusterConfig::new(2, ep("b")).seed(a.endpoint().clone()))
+        .expect("node b joins");
+    let c = ClusterNode::start(ClusterConfig::new(3, ep("c")).seed(a.endpoint().clone()))
+        .expect("node c joins");
+    (a, b, c)
+}
+
+#[test]
+fn membership_and_names_span_all_nodes() {
+    let (a, b, c) = cluster3("names");
+    for node in [&a, &b, &c] {
+        let ids: Vec<u64> = node.members().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![1, 2, 3], "node {} sees everyone", node.id());
+    }
+
+    // A counter on every node, each published cluster-wide.
+    let h1 = demo::install(&a).expect("install on a");
+    demo::install(&b).expect("install on b");
+    demo::install(&c).expect("install on c");
+    assert_eq!(h1.home, 1, "handles are stamped with their home node");
+
+    // Every node, asked for the demo prefix, sees all three names.
+    let want = vec![
+        demo::counter_name(1),
+        demo::counter_name(2),
+        demo::counter_name(3),
+    ];
+    for node in [&a, &b, &c] {
+        assert_eq!(
+            node.list("cluster.demo.counter.").expect("list"),
+            want,
+            "node {} lists the whole namespace",
+            node.id()
+        );
+    }
+
+    // The same through a client's NameService proxy, on a non-seed node.
+    let client = ClusterClient::connect(b.endpoint()).expect("client connects to b");
+    assert_eq!(client.seed_node(), 2);
+    assert_eq!(
+        client.names().list("cluster.demo.".into()).expect("list"),
+        want
+    );
+
+    // A name bound via one node resolves identically via the others,
+    // with the home stamp intact.
+    let via_b = client
+        .names()
+        .lookup(demo::counter_name(3))
+        .expect("lookup");
+    assert_eq!(via_b.home, 3);
+    assert_eq!(
+        a.lookup(&demo::counter_name(3)).expect("lookup on a"),
+        via_b
+    );
+
+    // A client may publish a handle homed on another node; the binding
+    // routes to the name's ring owner and survives cross-node lookup.
+    client
+        .names()
+        .bind("shared.alias".into(), via_b)
+        .expect("bind alias");
+    let via_c = ClusterClient::connect(c.endpoint()).expect("client connects to c");
+    assert_eq!(
+        via_c.names().lookup("shared.alias".into()).expect("lookup"),
+        via_b
+    );
+}
+
+#[test]
+fn first_call_forwards_then_cache_makes_calls_direct() {
+    let _gate = GATE.lock();
+    let (a, _b, c) = cluster3("fwd");
+    demo::install(&a).expect("install on a");
+    demo::install(&c).expect("install on c");
+
+    // Client wired to node A only.
+    let client = ClusterClient::connect(a.endpoint()).expect("client connects");
+    let name = demo::counter_name(3);
+
+    let hops = clam_obs::counter("cluster.forward_hops");
+    let hits = clam_obs::counter("cluster.placement_cache.hit");
+    let misses = clam_obs::counter("cluster.placement_cache.miss");
+    let (hops0, hits0, misses0) = (hops.get(), hits.get(), misses.get());
+
+    // First call: the object is homed on C, the client only knows A —
+    // A proxies the call one hop over its C link.
+    let v = decode_u64(&client.call_named(&name, 1, incr_args(5)).expect("incr"));
+    assert_eq!(v, 5);
+    assert_eq!(hops.get() - hops0, 1, "exactly one forwarded hop");
+    assert_eq!(misses.get() - misses0, 1, "cold cache missed once");
+
+    // Second call: the lookup hits the cache and the call goes direct
+    // to C — no new forward hop.
+    let v = decode_u64(&client.call_named(&name, 1, incr_args(3)).expect("incr"));
+    assert_eq!(v, 8);
+    assert_eq!(hops.get() - hops0, 1, "second call skipped the fabric");
+    assert_eq!(hits.get() - hits0, 1, "warm cache hit");
+
+    // The generated proxy aims at the direct connection too.
+    let proxy = CounterProxy::new(
+        client.caller_for(client.lookup(&name).expect("lookup")),
+        Target::Object(client.lookup(&name).expect("lookup")),
+    );
+    assert_eq!(proxy.get().expect("get"), 8);
+    assert_eq!(hops.get() - hops0, 1, "proxy calls are direct as well");
+}
+
+#[test]
+fn rebinding_recovers_through_the_placement_cache() {
+    let (a, b, _c) = cluster3("rebind");
+    demo::install(&a).expect("install on a");
+
+    let client = ClusterClient::connect(b.endpoint()).expect("client connects");
+    let name = demo::counter_name(1);
+    let first = decode_u64(&client.call_named(&name, 1, incr_args(2)).expect("incr"));
+    assert_eq!(first, 2);
+
+    // The object dies and the name is rebound to a replacement.
+    let old = a.lookup(&name).expect("old handle");
+    a.server()
+        .rpc()
+        .objects()
+        .unregister(old)
+        .expect("unregister");
+    let replacement = demo::install(&a).expect("reinstall on a");
+    assert_ne!(old, replacement);
+
+    // The cached placement is now dead; one retry re-looks-up and
+    // lands on the replacement (a fresh counter).
+    let v = decode_u64(&client.call_named(&name, 1, incr_args(7)).expect("incr"));
+    assert_eq!(v, 7, "retry reached the rebound object");
+    assert_eq!(client.lookup(&name).expect("lookup"), replacement);
+}
+
+#[test]
+fn cross_node_upcall_journals_one_stitched_trace() {
+    let _gate = GATE.lock();
+    let (a, b, _c) = cluster3("events");
+
+    // A client of node A subscribes; the fabric installs relays on the
+    // other nodes during this call.
+    let subscriber = ClusterClient::connect(a.endpoint()).expect("subscriber connects");
+    let seen: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    subscriber
+        .subscribe("alerts", move |topic, payload| -> RpcResult<u32> {
+            sink.lock().push((topic, payload));
+            Ok(1)
+        })
+        .expect("subscribe");
+
+    // A second client posts the event THROUGH NODE B: the post upcalls
+    // B's relay for node A, which re-posts to A's local subscriber.
+    let poster = ClusterClient::connect(a.endpoint()).expect("poster connects");
+    let before = clam_obs::journal().events().len();
+    let delivered = poster.post_via(b.id(), "alerts", "fire").expect("post");
+    assert_eq!(delivered, 1, "one subscriber, reached across nodes");
+    assert_eq!(
+        seen.lock().as_slice(),
+        &[("alerts".to_string(), "fire".to_string())]
+    );
+
+    // ---- the journal shows ONE trace spanning both hops ----
+    let events = clam_obs::journal().events();
+    let fresh = &events[before..];
+
+    // Two upcall sends: node B → node A's relay, node A → subscriber.
+    let sends: Vec<_> = fresh
+        .iter()
+        .filter(|e| e.kind == EventKind::UpcallSent)
+        .collect();
+    assert_eq!(sends.len(), 2, "relay hop plus local delivery");
+    let (relay, local) = (sends[0], sends[1]);
+    assert_eq!(relay.trace, local.trace, "both hops share the trace");
+    assert_eq!(
+        local.parent, relay.span,
+        "the delivery span hangs under the relay span"
+    );
+
+    // The trace roots at the poster's call, and the relay hangs under
+    // that call's span.
+    let root = fresh
+        .iter()
+        .find(|e| e.kind == EventKind::CallStart && e.trace == relay.trace)
+        .expect("the post call starts the trace");
+    assert_eq!(relay.parent, root.span, "relay hangs under the post call");
+
+    // Both upcall spans were entered and exited cleanly.
+    for hop in [relay, local] {
+        assert!(
+            fresh.iter().any(|e| e.kind == EventKind::UpcallEnter
+                && e.trace == hop.trace
+                && e.span == hop.span),
+            "hop was entered"
+        );
+        assert!(
+            fresh.iter().any(|e| e.kind == EventKind::UpcallExit
+                && e.trace == hop.trace
+                && e.span == hop.span
+                && e.code == 0),
+            "hop exited cleanly"
+        );
+    }
+}
+
+#[test]
+fn server_side_subscribers_and_posts_cross_nodes() {
+    let (a, b, _c) = cluster3("server-events");
+    let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    // An in-process (server-side) subscriber on the seed…
+    a.subscribe_fn("load", move |_topic, payload| {
+        sink.lock().push(payload);
+        Ok(1)
+    });
+    // …receives a post originating inside another node.
+    let delivered = b.post("load", "spike").expect("post");
+    assert_eq!(delivered, 1);
+    assert_eq!(seen.lock().as_slice(), &["spike".to_string()]);
+    // Unsubscribed topics deliver to nobody.
+    assert_eq!(b.post("unheard", "x").expect("post"), 0);
+}

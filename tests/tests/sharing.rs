@@ -71,8 +71,8 @@ fn names_cannot_publish_forged_handles() {
         Target::Builtin(_) => unreachable!(),
     };
     let forged = Handle {
-        object_id: real.object_id,
         tag: real.tag.wrapping_add(1),
+        ..real
     };
     let err = client.names().bind("evil".into(), forged).unwrap_err();
     assert_eq!(err.status_code(), Some(StatusCode::StaleHandle));
